@@ -1,0 +1,278 @@
+// Package penelope_test is the benchmark harness of the reproduction:
+// one benchmark per paper table/figure (regenerating its data and
+// reporting the headline quantity via ReportMetric) plus ablation
+// benchmarks for the design choices called out in DESIGN.md §5.
+//
+// Run with: go test -bench=. -benchmem
+package penelope_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"penelope/internal/adder"
+	"penelope/internal/cache"
+	"penelope/internal/circuit"
+	"penelope/internal/experiments"
+	"penelope/internal/metric"
+	"penelope/internal/nbti"
+	"penelope/internal/pipeline"
+	"penelope/internal/trace"
+)
+
+// benchOptions keeps per-iteration work bounded.
+func benchOptions() experiments.Options {
+	return experiments.Options{TraceLength: 5000, TraceStride: 120}
+}
+
+// BenchmarkFig1NITDynamics regenerates the Figure 1 stress/relax
+// saw-tooth and reports the equilibrium trap density at 50% duty.
+func BenchmarkFig1NITDynamics(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1()
+		last = r.DutyEquilibria[0.5]
+	}
+	b.ReportMetric(last, "NIT50/N0")
+}
+
+// BenchmarkFig4InputPairs sweeps the 28 synthetic input pairs on the
+// Ladner-Fischer adder and reports the best pair's stressed fraction.
+func BenchmarkFig4InputPairs(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4()
+		best = r.Best.NarrowFullyStressed
+	}
+	b.ReportMetric(best*100, "best-narrow100%")
+}
+
+// BenchmarkFig5AdderGuardband ages the adder at 21% utilization with
+// pair 1+8 idle injection and reports the guardband (paper: 5.8%).
+func BenchmarkFig5AdderGuardband(b *testing.B) {
+	ad := adder.New32()
+	params := nbti.DefaultParams()
+	src := trace.NewOperandStream([]*trace.Trace{trace.NewTrace(trace.SpecINT2000, 0, 4000)})
+	var gb float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ad.GuardbandScenario(src, 0.21, 1, 8, 150, params)
+		gb = res.Guardband
+	}
+	b.ReportMetric(gb*100, "guardband%")
+}
+
+// BenchmarkFig6RegfileBias runs the ISV register-file mechanism through
+// the pipeline and reports the worst-case integer bias (paper: 48.5%).
+func BenchmarkFig6RegfileBias(b *testing.B) {
+	cfg := pipeline.DefaultConfig()
+	cfg.EnableISV = true
+	tr := trace.NewTrace(trace.SpecINT2000, 1, 8000)
+	var worst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pipeline.Run(cfg, tr)
+		worst = r.IntRF.WorstBias
+	}
+	b.ReportMetric(worst*100, "worstbias%")
+}
+
+// BenchmarkFig8SchedulerBias builds the field plan and runs the
+// protected scheduler, reporting the worst-case bias (paper: 63.2%).
+func BenchmarkFig8SchedulerBias(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(benchOptions())
+		worst = r.WorstProtected
+	}
+	b.ReportMetric(worst*100, "worstbias%")
+}
+
+// BenchmarkTable3CacheSchemes evaluates each inversion scheme on the
+// 32KB 8-way DL0 and reports its CPI loss (paper Table 3 row 1).
+func BenchmarkTable3CacheSchemes(b *testing.B) {
+	tr := trace.NewTrace(trace.Server, 1, 8000)
+	base := pipeline.Run(pipeline.DefaultConfig(), tr)
+	schemes := []struct {
+		name string
+		opt  cache.Options
+	}{
+		{"SetFixed50", cache.Options{Scheme: cache.SchemeSetFixed, InvertRatio: 0.5, RotatePeriod: 2_000_000}},
+		{"LineFixed50", cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 3}},
+		{"LineDynamic60", func() cache.Options {
+			o := cache.DefaultDynamicOptions(0.6, 0.02, 3)
+			o.PeriodCycles = 4000
+			o.WarmupCycles = 150
+			o.TestCycles = 150
+			return o
+		}()},
+	}
+	for _, s := range schemes {
+		b.Run(s.name, func(b *testing.B) {
+			cfg := pipeline.DefaultConfig()
+			cfg.DL0Options = s.opt
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				r := pipeline.Run(cfg, tr)
+				loss = r.CPI/base.CPI - 1
+			}
+			b.ReportMetric(loss*100, "loss%")
+		})
+	}
+}
+
+// BenchmarkEfficiencyMetric evaluates the §4.7 whole-processor summary
+// from the paper's inputs and reports the Penelope NBTIefficiency
+// (paper: 1.28).
+func BenchmarkEfficiencyMetric(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Efficiency(experiments.PaperInputs())
+		eff = r.Penelope
+	}
+	b.ReportMetric(eff, "NBTIefficiency")
+}
+
+// BenchmarkPipelineThroughput measures raw simulator speed in uops/s.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	cfg := pipeline.DefaultConfig()
+	tr := trace.NewTrace(trace.Multimedia, 0, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipeline.Run(cfg, tr)
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "uops/s")
+}
+
+// BenchmarkAblationRINVPeriod sweeps the RINV refresh period (DESIGN.md
+// §5): sampling too rarely leaves per-bit noise, too often costs
+// nothing here but would cost sampling bandwidth in hardware.
+func BenchmarkAblationRINVPeriod(b *testing.B) {
+	tr := trace.NewTrace(trace.SpecINT2000, 2, 8000)
+	for _, period := range []uint64{64, 256, 1024, 4096} {
+		b.Run(benchName("period", int(period)), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig()
+			cfg.EnableISV = true
+			cfg.RINVPeriod = period
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				r := pipeline.Run(cfg, tr)
+				worst = r.IntRF.WorstBias
+			}
+			b.ReportMetric(worst*100, "worstbias%")
+		})
+	}
+}
+
+// BenchmarkAblationGranularity compares inversion granularities
+// (set/way/line) at K=50% on the same workload.
+func BenchmarkAblationGranularity(b *testing.B) {
+	tr := trace.NewTrace(trace.Multimedia, 2, 8000)
+	baseCfg := pipeline.DefaultConfig()
+	baseCfg.DL0Bytes = 8 * 1024 // pressured configuration so losses show
+	base := pipeline.Run(baseCfg, tr)
+	for _, g := range []struct {
+		name   string
+		scheme cache.Scheme
+	}{
+		{"set", cache.SchemeSetFixed},
+		{"way", cache.SchemeWayFixed},
+		{"line", cache.SchemeLineFixed},
+	} {
+		b.Run(g.name, func(b *testing.B) {
+			cfg := baseCfg
+			cfg.DL0Options = cache.Options{Scheme: g.scheme, InvertRatio: 0.5, RotatePeriod: 2_000_000, Seed: 5}
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				r := pipeline.Run(cfg, tr)
+				loss = r.CPI/base.CPI - 1
+			}
+			b.ReportMetric(loss*100, "loss%")
+		})
+	}
+}
+
+// BenchmarkAblationInvertRatio sweeps the fixed invert ratio K for the
+// line scheme: higher K balances wear better but costs more capacity.
+func BenchmarkAblationInvertRatio(b *testing.B) {
+	tr := trace.NewTrace(trace.SpecINT2000, 3, 8000)
+	baseCfg := pipeline.DefaultConfig()
+	baseCfg.DL0Bytes = 8 * 1024 // pressured configuration so losses show
+	base := pipeline.Run(baseCfg, tr)
+	for _, k := range []int{30, 40, 50, 60, 70} {
+		b.Run(benchName("K", k), func(b *testing.B) {
+			cfg := baseCfg
+			cfg.DL0Options = cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: float64(k) / 100, Seed: 5}
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				r := pipeline.Run(cfg, tr)
+				loss = r.CPI/base.CPI - 1
+			}
+			b.ReportMetric(loss*100, "loss%")
+		})
+	}
+}
+
+// BenchmarkAblationAdderInputs varies how many synthetic inputs the idle
+// injector alternates: one input leaves complementary transistors fully
+// stressed; the complementary pair fixes them.
+func BenchmarkAblationAdderInputs(b *testing.B) {
+	ad := adder.New32()
+	params := nbti.DefaultParams()
+	sets := map[string][]int{
+		"1input":  {1},
+		"2inputs": {1, 8},
+		"4inputs": {1, 4, 5, 8},
+		"8inputs": {1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, name := range []string{"1input", "2inputs", "4inputs", "8inputs"} {
+		idxs := sets[name]
+		b.Run(name, func(b *testing.B) {
+			var gb float64
+			for i := 0; i < b.N; i++ {
+				sim := circuit.NewStressSim(ad.Netlist())
+				// 21% utilization with random operands, idle time
+				// round-robin over the input set.
+				for s := 0; s < 120; s++ {
+					sim.Apply(ad.InputVector(uint64(rng.Uint32()), uint64(rng.Uint32()), false), 21)
+					share := 79 / len(idxs)
+					for _, k := range idxs {
+						sim.Apply(ad.SyntheticInput(k), uint64(share))
+					}
+				}
+				gb = sim.Analyze(params).Guardband
+			}
+			b.ReportMetric(gb*100, "guardband%")
+		})
+	}
+}
+
+// BenchmarkAblationMetricExponent evaluates the §4.2 metric with
+// delay exponents 1..3 on the paper's processor inputs, showing how the
+// PD³ choice weighs delay against guardband.
+func BenchmarkAblationMetricExponent(b *testing.B) {
+	for _, exp := range []int{1, 2, 3} {
+		b.Run(benchName("exp", exp), func(b *testing.B) {
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				eff = metric.EfficiencyExp(1.007, 0.074, 1.01, float64(exp))
+			}
+			b.ReportMetric(eff, "NBTIefficiency")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{digits[v%10]}, buf...)
+		v /= 10
+	}
+	return prefix + string(buf)
+}

@@ -1,0 +1,104 @@
+// Command penelope regenerates the tables and figures of "Penelope: The
+// NBTI-Aware Processor" (MICRO 2007) from the Go reproduction.
+//
+// Usage:
+//
+//	penelope -experiment all
+//	penelope -experiment fig4
+//	penelope -experiment table3 -length 20000 -stride 8
+//
+// Experiments: fig1, fig4, fig5, fig6, fig8, table1, table2, table3,
+// mru, efficiency, all. Length is uops per trace; stride subsamples the
+// 531-trace workload (1 = full workload, as in the paper — slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"penelope/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "experiment id: fig1|fig4|fig5|fig6|fig8|table1|table2|table3|mru|efficiency|all")
+		length = flag.Int("length", 0, "uops per trace (default 12000)")
+		stride = flag.Int("stride", 0, "workload subsampling stride (default 12; 1 = all 531 traces)")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *length > 0 {
+		opts.TraceLength = *length
+	}
+	if *stride > 0 {
+		opts.TraceStride = *stride
+	}
+
+	w := os.Stdout
+	run := func(id string) bool {
+		switch id {
+		case "fig1":
+			experiments.Fig1().Render(w)
+		case "fig4":
+			experiments.Fig4().Render(w)
+		case "fig5":
+			experiments.Fig5(opts).Render(w)
+		case "fig6":
+			experiments.Fig6(opts).Render(w)
+		case "fig8":
+			experiments.Fig8(opts).Render(w)
+		case "table1":
+			experiments.Table1(w)
+		case "table2":
+			experiments.Table2(w)
+		case "table3":
+			experiments.Table3(opts).Render(w)
+		case "mru":
+			experiments.MRUStudy(opts, w)
+		case "bpred":
+			experiments.Bpred(opts).Render(w)
+		case "latch":
+			experiments.Latch(opts).Render(w)
+		case "vmin":
+			experiments.Vmin(experiments.Fig6(opts), experiments.Fig8(opts)).Render(w)
+		case "efficiency":
+			t3 := experiments.Table3(opts)
+			f5 := experiments.Fig5(opts)
+			f6 := experiments.Fig6(opts)
+			f8 := experiments.Fig8(opts)
+			in := experiments.EfficiencyInputs{
+				AdderGuardband: f5.Scenarios[1].Guardband,
+				IntRFWorstBias: f6.IntWorstISV,
+				FPRFWorstBias:  f6.FPWorstISV,
+				SchedWorstBias: f8.WorstProtected,
+				CombinedCPI:    t3.CombinedCPI,
+			}
+			fmt.Fprintln(w, "\nmeasured inputs:")
+			fmt.Fprintf(w, "  adder guardband %.1f%%, RF worst bias %.1f%%/%.1f%%, sched worst bias %.1f%%, combined CPI %.4f\n",
+				in.AdderGuardband*100, in.IntRFWorstBias*100, in.FPRFWorstBias*100,
+				in.SchedWorstBias*100, in.CombinedCPI)
+			experiments.Efficiency(in).Render(w)
+			fmt.Fprintln(w, "\nreference (paper inputs):")
+			experiments.Efficiency(experiments.PaperInputs()).Render(w)
+		default:
+			return false
+		}
+		return true
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig8", "mru", "table3", "efficiency", "bpred", "latch", "vmin"} {
+			if !run(id) {
+				panic("unreachable")
+			}
+		}
+		return
+	}
+	if !run(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,183 @@
+// Integration tests: cross-module scenarios exercising the public flow
+// end to end — the paths a downstream user of the library would take.
+package penelope_test
+
+import (
+	"testing"
+
+	"penelope/internal/adder"
+	"penelope/internal/cache"
+	"penelope/internal/metric"
+	"penelope/internal/mitigation"
+	"penelope/internal/nbti"
+	"penelope/internal/pipeline"
+	"penelope/internal/sched"
+	"penelope/internal/trace"
+)
+
+// TestEndToEndPenelopeBeatsAlternatives runs the full Penelope stack —
+// ISV register files, planned scheduler, LineFixed caches — on one
+// workload slice and checks the paper's bottom line: lower
+// NBTIefficiency than both the guardband baseline and periodic
+// inversion.
+func TestEndToEndPenelopeBeatsAlternatives(t *testing.T) {
+	traces := trace.SampleTraces(10000, 40)
+	if len(traces) < 8 {
+		t.Fatal("not enough traces")
+	}
+
+	// Profile the scheduler across the suite mix (the paper profiles on
+	// 100 traces spanning all ten suites; a single-suite profile would
+	// misclassify workload-dependent fields like tos).
+	profCfg := pipeline.DefaultConfig()
+	profile := pipeline.Run(profCfg, traces[0]).Sched
+	for _, tr := range traces[1:] {
+		r := pipeline.Run(profCfg, tr).Sched
+		for fi := range profile.Fields {
+			for b := range profile.Fields[fi].BusyBias {
+				profile.Fields[fi].BusyBias[b] =
+					(profile.Fields[fi].BusyBias[b] + r.Fields[fi].BusyBias[b]) / 2
+			}
+			profile.Fields[fi].Occupancy =
+				(profile.Fields[fi].Occupancy + r.Fields[fi].Occupancy) / 2
+		}
+	}
+	plan := sched.BuildPlan(profile)
+
+	full := pipeline.DefaultConfig()
+	full.EnableISV = true
+	full.SchedPlan = plan
+	full.DL0Options = cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 1}
+	full.DTLBOptions = cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 2}
+
+	// Aggregate biases across the workload, as the paper does: the
+	// guardband is set by the average wear of a cell over the product's
+	// life, not by the worst single program. Per-field accumulation
+	// mirrors Figure 8's aggregation.
+	var baseCPI, protCPI float64
+	var sumRF float64
+	var bitSum [][]float64
+	n := 0
+	for _, tr := range traces[1:] {
+		b := pipeline.Run(pipeline.DefaultConfig(), tr)
+		p := pipeline.Run(full, tr)
+		baseCPI += b.CPI
+		protCPI += p.CPI
+		sumRF += p.IntRF.WorstBias
+		if bitSum == nil {
+			bitSum = make([][]float64, len(p.Sched.Fields))
+			for fi := range bitSum {
+				bitSum[fi] = make([]float64, len(p.Sched.Fields[fi].Biases))
+			}
+		}
+		for fi, f := range p.Sched.Fields {
+			for bi, bias := range f.Biases {
+				bitSum[fi][bi] += bias
+			}
+		}
+		n++
+	}
+	worstRF := sumRF / float64(n)
+	worstSched := 0.5
+	for fi := range bitSum {
+		if !sched.Spec(sched.FieldID(fi)).Plot {
+			continue
+		}
+		for _, s := range bitSum[fi] {
+			avg := s / float64(n)
+			if avg > worstSched {
+				worstSched = avg
+			}
+			if 1-avg > worstSched {
+				worstSched = 1 - avg
+			}
+		}
+	}
+	cpiFactor := protCPI / baseCPI
+	if cpiFactor > 1.10 {
+		t.Fatalf("all mechanisms together cost %.1f%% CPI, too much", (cpiFactor-1)*100)
+	}
+
+	params := nbti.DefaultParams()
+	blocks := []metric.Block{
+		{Name: "rf", CPIFactor: 1, CycleTimeFactor: 1, Guardband: params.CellGuardband(worstRF), TDPFactor: 1.01},
+		{Name: "sched", CPIFactor: 1, CycleTimeFactor: 1, Guardband: params.CellGuardband(worstSched), TDPFactor: 1.02},
+		{Name: "dl0", CPIFactor: 1, CycleTimeFactor: 1, Guardband: params.MinGuardband, TDPFactor: 1.01},
+	}
+	s := metric.Processor(cpiFactor, blocks)
+	eff := s.Efficiency()
+	if eff >= metric.Baseline().Efficiency() {
+		t.Errorf("Penelope efficiency %.3f should beat baseline 1.73", eff)
+	}
+	if eff >= metric.PeriodicInversion().Efficiency() {
+		t.Errorf("Penelope efficiency %.3f should beat periodic inversion 1.41", eff)
+	}
+}
+
+// TestAdderPlusWorkloadGuardband ties the trace generator, operand
+// stream and gate-level adder together: the Figure 5 pipeline.
+func TestAdderPlusWorkloadGuardband(t *testing.T) {
+	ad := adder.New32()
+	params := nbti.DefaultParams()
+	src := trace.NewOperandStream(trace.SampleTraces(3000, 150))
+	res := ad.GuardbandScenario(src, 0.21, 1, 8, 200, params)
+	if res.Guardband < 0.04 || res.Guardband > 0.08 {
+		t.Errorf("21%% utilization guardband = %.3f, want ≈ 0.058", res.Guardband)
+	}
+	// Round-robin injection must beat paying the full guardband.
+	eff := metric.Efficiency(1, res.Guardband, 1)
+	if eff >= metric.Baseline().Efficiency() {
+		t.Errorf("adder efficiency %.3f should beat 1.73", eff)
+	}
+}
+
+// TestCasuisticAgainstPipeline cross-checks that the plan the classifier
+// builds from pipeline measurements actually balances the scheduler when
+// applied — the profile->plan->apply loop closes.
+func TestCasuisticAgainstPipeline(t *testing.T) {
+	tr := trace.NewTrace(trace.Multimedia, 5, 10000)
+	base := pipeline.Run(pipeline.DefaultConfig(), tr)
+	plan := sched.BuildPlan(base.Sched)
+
+	// Every technique family must appear — the workload exercises all
+	// branches of Figure 3.
+	seen := map[mitigation.Technique]bool{}
+	for f := sched.FieldID(0); f < sched.NumFields; f++ {
+		seen[plan.Technique(f)] = true
+	}
+	for _, want := range []mitigation.Technique{
+		mitigation.TechALL1, mitigation.TechISV,
+		mitigation.TechSelfBalanced, mitigation.TechUncovered,
+	} {
+		if !seen[want] {
+			t.Errorf("classifier never chose %v", want)
+		}
+	}
+
+	cfg := pipeline.DefaultConfig()
+	cfg.SchedPlan = plan
+	prot := pipeline.Run(cfg, tr)
+	if prot.Sched.WorstBias() >= base.Sched.WorstBias() {
+		t.Errorf("plan did not improve worst bias: %.3f -> %.3f",
+			base.Sched.WorstBias(), prot.Sched.WorstBias())
+	}
+}
+
+// TestDeterministicAcrossStack re-runs the full stack and requires
+// bit-identical statistics: everything is seeded.
+func TestDeterministicAcrossStack(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.EnableISV = true
+	cfg.DL0Options = cache.DefaultDynamicOptions(0.6, 0.02, 5)
+	cfg.DL0Options.PeriodCycles = 3000
+	cfg.DL0Options.WarmupCycles = 100
+	cfg.DL0Options.TestCycles = 100
+	run := func() pipeline.Result {
+		return pipeline.Run(cfg, trace.NewTrace(trace.Server, 3, 6000))
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.DL0Stats.Misses != b.DL0Stats.Misses ||
+		a.IntRF.WorstBias != b.IntRF.WorstBias {
+		t.Error("full-stack runs diverged despite fixed seeds")
+	}
+}

@@ -1,0 +1,154 @@
+package adder
+
+import (
+	"fmt"
+	"sort"
+
+	"penelope/internal/circuit"
+	"penelope/internal/nbti"
+)
+
+// NumSyntheticInputs is the size of the synthetic input set of §4.3: all
+// combinations of InputA, InputB and CarryIn set to all-zeros or all-ones.
+const NumSyntheticInputs = 8
+
+// SyntheticInput returns synthetic input k (1-based, 1..8), numbered as
+// in the paper: <InputA, InputB, CarryIn> in ascending binary order, so
+// input 1 is <0,0,0>, input 2 is <0,0,1>, ... input 8 is <1,1,1>.
+// "InputA is 0 (1)" means all its bits are 0 (1).
+func (ad *Adder) SyntheticInput(k int) []bool {
+	if k < 1 || k > NumSyntheticInputs {
+		panic("adder: synthetic input index must be in 1..8")
+	}
+	bits := k - 1
+	var a, b uint64
+	mask := uint64(1)<<uint(ad.width) - 1
+	if bits&4 != 0 {
+		a = mask
+	}
+	if bits&2 != 0 {
+		b = mask
+	}
+	cin := bits&1 != 0
+	return ad.InputVector(a, b, cin)
+}
+
+// OperandSource yields "real" operand samples for the adder, e.g. sampled
+// from workload traces (§4.3: "Actual inputs have been sampled from our
+// 531 traces").
+type OperandSource interface {
+	NextOperands() (a, b uint64, cin bool)
+}
+
+// PairResult reports the Figure 4 metric for one synthetic input pair.
+type PairResult struct {
+	I, J int // 1-based synthetic input indices, I < J
+	// NarrowFullyStressed is the fraction of all PMOS transistors that
+	// are narrow and observe "0" 100% of the time when inputs I and J
+	// alternate round-robin.
+	NarrowFullyStressed float64
+	// WorstEffectiveBias and Guardband characterize the pair beyond the
+	// paper's plot, for tie-breaking and the Fig. 5 scenarios.
+	WorstEffectiveBias float64
+	Guardband          float64
+}
+
+// Label renders the pair like the Figure 4 x-axis ("1+8").
+func (r PairResult) Label() string { return fmt.Sprintf("%d+%d", r.I, r.J) }
+
+// SweepPairs evaluates all 28 pairs of synthetic inputs, alternating each
+// pair round-robin for equal time (so every transistor sees zero-signal
+// probability 0, 50 or 100%), and returns results in x-axis order
+// (1+2, 1+3, ... 7+8). This regenerates Figure 4.
+func (ad *Adder) SweepPairs(params nbti.Params) []PairResult {
+	var out []PairResult
+	for i := 1; i <= NumSyntheticInputs; i++ {
+		for j := i + 1; j <= NumSyntheticInputs; j++ {
+			sim := circuit.NewStressSim(ad.netlist)
+			sim.Apply(ad.SyntheticInput(i), 1)
+			sim.Apply(ad.SyntheticInput(j), 1)
+			rep := sim.Analyze(params)
+			out = append(out, PairResult{
+				I: i, J: j,
+				NarrowFullyStressed: rep.NarrowFullyStressed,
+				WorstEffectiveBias:  rep.WorstEffectiveBias,
+				Guardband:           rep.Guardband,
+			})
+		}
+	}
+	return out
+}
+
+// BestPair returns the pair minimizing the Figure 4 metric, breaking ties
+// by lower worst effective bias and then by x-axis order. The paper finds
+// inputs 1 and 8 (<0,0,0> and <1,1,1>).
+func BestPair(results []PairResult) PairResult {
+	if len(results) == 0 {
+		panic("adder: no pair results")
+	}
+	sorted := make([]PairResult, len(results))
+	copy(sorted, results)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		ra, rb := sorted[a], sorted[b]
+		if ra.NarrowFullyStressed != rb.NarrowFullyStressed {
+			return ra.NarrowFullyStressed < rb.NarrowFullyStressed
+		}
+		return ra.WorstEffectiveBias < rb.WorstEffectiveBias
+	})
+	return sorted[0]
+}
+
+// ScenarioResult is one bar of Figure 5.
+type ScenarioResult struct {
+	Name         string
+	RealFraction float64 // fraction of time the adder computes real inputs
+	Guardband    float64
+	WorstBias    float64
+}
+
+// GuardbandScenario ages the adder with real operands for realFraction of
+// the time and the synthetic pair (i, j) round-robin for the remaining
+// idle time, then returns the guardband required. samples sets how many
+// distinct real operand samples to draw; each is held for one time unit.
+//
+// realFraction 1.0 reproduces the "real inputs" bar of Figure 5 (inputs
+// remain unchanged during idle periods); 0.30/0.21/0.11 reproduce the
+// three utilization scenarios of §4.3.
+func (ad *Adder) GuardbandScenario(src OperandSource, realFraction float64, i, j, samples int, params nbti.Params) ScenarioResult {
+	if realFraction < 0 || realFraction > 1 {
+		panic("adder: real fraction must be in [0,1]")
+	}
+	if samples < 1 {
+		panic("adder: need at least one sample")
+	}
+	sim := circuit.NewStressSim(ad.netlist)
+	// Time is interleaved at per-sample granularity: each real sample is
+	// held for a slot proportional to realFraction, followed by the two
+	// synthetic inputs sharing the idle remainder. Scaling by 1000 keeps
+	// integer time without rounding drift.
+	const scale = 1000
+	realDt := uint64(realFraction * scale)
+	idleDt := uint64(scale) - realDt
+	for s := 0; s < samples; s++ {
+		a, b, cin := src.NextOperands()
+		if realDt > 0 {
+			sim.Apply(ad.InputVector(a, b, cin), realDt)
+		}
+		if idleDt > 0 {
+			half := idleDt / 2
+			sim.Apply(ad.SyntheticInput(i), half)
+			sim.Apply(ad.SyntheticInput(j), idleDt-half)
+		}
+	}
+	rep := sim.Analyze(params)
+	name := fmt.Sprintf("%.0f%% real + %d + %d", realFraction*100, i, j)
+	if realFraction >= 1 {
+		name = "real inputs"
+	}
+	return ScenarioResult{
+		Name:         name,
+		RealFraction: realFraction,
+		Guardband:    rep.Guardband,
+		WorstBias:    rep.WorstEffectiveBias,
+	}
+}

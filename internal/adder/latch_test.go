@@ -1,0 +1,68 @@
+package adder
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLatchStudyAlternatingPairBalances(t *testing.T) {
+	// §3.3/§4.3: alternating <0,0,0> and <1,1,1> during idle periods
+	// holds opposite values in the latches for similar times, keeping
+	// them near balance even though the data itself is biased.
+	ad := New32()
+	src := &biasedSource{rng: rand.New(rand.NewSource(5))}
+	pair := ad.LatchStudy(src, 0.21, []int{1, 8}, 400)
+	if pair.WorstBias > 0.65 {
+		t.Errorf("alternating pair latch worst bias = %.3f, want near balance", pair.WorstBias)
+	}
+	if got := len(pair.Biases); got != 65 {
+		t.Errorf("latch bias count = %d, want 65 (2·32+1)", got)
+	}
+}
+
+func TestLatchStudySingleInputStresses(t *testing.T) {
+	// Holding a single input (all zeros) during idle periods leaves the
+	// latches parked at "0" — heavily one-sided wear.
+	ad := New32()
+	src := &biasedSource{rng: rand.New(rand.NewSource(5))}
+	single := ad.LatchStudy(src, 0.21, []int{1}, 400)
+	pair := ad.LatchStudy(src, 0.21, []int{1, 8}, 400)
+	if single.WorstBias < 0.85 {
+		t.Errorf("single-input latch worst bias = %.3f, want high", single.WorstBias)
+	}
+	if pair.WorstBias >= single.WorstBias {
+		t.Errorf("pair (%.3f) must improve on single input (%.3f)",
+			pair.WorstBias, single.WorstBias)
+	}
+}
+
+func TestLatchStudyPanics(t *testing.T) {
+	ad := New(8, 0)
+	src := fixedSource{}
+	for _, f := range []func(){
+		func() { ad.LatchStudy(src, -0.1, []int{1}, 1) },
+		func() { ad.LatchStudy(src, 0.5, nil, 1) },
+		func() { ad.LatchStudy(src, 0.5, []int{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLatchStudyFullReal(t *testing.T) {
+	// With 100% real inputs the latches inherit the data bias: the
+	// carry-in latch is almost always "0" (§1.1).
+	ad := New32()
+	src := &biasedSource{rng: rand.New(rand.NewSource(9))}
+	rep := ad.LatchStudy(src, 1.0, []int{1, 8}, 500)
+	cin := rep.Biases[len(rep.Biases)-1]
+	if cin < 0.9 {
+		t.Errorf("carry-in latch zero bias = %.3f, want > 0.9", cin)
+	}
+}

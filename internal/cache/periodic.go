@@ -1,0 +1,113 @@
+package cache
+
+// PeriodicInverter models the conventional alternative Penelope is
+// compared against (§3): the whole structure operates in inverted mode
+// half of the time, with XNOR gates in the read/write paths flipping
+// data on the fly. Contents never need invalidation — the invert bit is
+// global — but the XNOR costs roughly one FO4 of cycle time (10% at a
+// 10 FO4 cycle), which is why the paper reserves it for slow structures
+// like second-level caches.
+//
+// The inverter tracks the time spent in each mode and exposes the
+// resulting cell-bias correction: a bit with raw zero bias b stored
+// under a 50% inverted schedule wears as b/2 + (1-b)/2 = 50%.
+type PeriodicInverter struct {
+	period   uint64
+	inverted bool
+	lastFlip uint64
+	invTime  uint64
+	totTime  uint64
+	flips    uint64
+	// CycleTimeFactor is the relative cycle time the XNOR in the access
+	// path costs (paper example: 1.10).
+	CycleTimeFactor float64
+}
+
+// NewPeriodicInverter returns an inverter that flips mode every period
+// cycles. Period must be positive.
+func NewPeriodicInverter(period uint64) *PeriodicInverter {
+	if period == 0 {
+		panic("cache: periodic inverter needs a positive period")
+	}
+	return &PeriodicInverter{period: period, CycleTimeFactor: 1.10}
+}
+
+// Advance moves time forward to the given cycle, flipping the mode at
+// each period boundary and integrating per-mode time.
+func (p *PeriodicInverter) Advance(cycle uint64) {
+	for cycle-p.lastFlip >= p.period {
+		dt := p.period
+		p.account(dt)
+		p.lastFlip += p.period
+		p.inverted = !p.inverted
+		p.flips++
+	}
+	// Partial interval up to 'cycle' is accounted lazily on the next
+	// flip or on Finish; keep only flip bookkeeping here.
+}
+
+func (p *PeriodicInverter) account(dt uint64) {
+	p.totTime += dt
+	if p.inverted {
+		p.invTime += dt
+	}
+}
+
+// Finish closes accounting at the end cycle.
+func (p *PeriodicInverter) Finish(cycle uint64) {
+	if cycle > p.lastFlip {
+		p.account(cycle - p.lastFlip)
+		p.lastFlip = cycle
+	}
+}
+
+// Inverted reports the current mode.
+func (p *PeriodicInverter) Inverted() bool { return p.inverted }
+
+// Flips returns how many mode changes have happened.
+func (p *PeriodicInverter) Flips() uint64 { return p.flips }
+
+// InvertedFraction returns the fraction of time spent in inverted mode.
+func (p *PeriodicInverter) InvertedFraction() float64 {
+	if p.totTime == 0 {
+		return 0
+	}
+	return float64(p.invTime) / float64(p.totTime)
+}
+
+// EffectiveBias returns the cell bias a raw data bias settles at under
+// the inverter's measured schedule: f·(1-b) + (1-f)·b for inverted
+// fraction f.
+func (p *PeriodicInverter) EffectiveBias(rawBias float64) float64 {
+	f := p.InvertedFraction()
+	return f*(1-rawBias) + (1-f)*rawBias
+}
+
+// Store transforms a value on its way into the array (XNOR with the
+// invert bit), and Load transforms it back. Width is in bits.
+func (p *PeriodicInverter) Store(v uint64, width int) uint64 {
+	if p.inverted {
+		return ^v & mask64(width)
+	}
+	return v & mask64(width)
+}
+
+// Load undoes the Store transform under the current mode. A value stored
+// and loaded in the same mode round-trips; the paper's scheme flushes or
+// rewrites contents at mode changes, which callers model by re-storing.
+func (p *PeriodicInverter) Load(v uint64, width int) uint64 {
+	if p.inverted {
+		return ^v & mask64(width)
+	}
+	return v & mask64(width)
+}
+
+func mask64(width int) uint64 {
+	if width <= 0 || width > 64 {
+		panic("cache: width must be in (0, 64]")
+	}
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}

@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodicInverterFlips(t *testing.T) {
+	p := NewPeriodicInverter(100)
+	if p.Inverted() {
+		t.Fatal("must start non-inverted")
+	}
+	p.Advance(100)
+	if !p.Inverted() || p.Flips() != 1 {
+		t.Fatal("first flip missing")
+	}
+	p.Advance(350)
+	if p.Flips() != 3 {
+		t.Fatalf("flips = %d, want 3", p.Flips())
+	}
+	p.Finish(400)
+	if got := p.InvertedFraction(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("inverted fraction = %v, want 0.5", got)
+	}
+}
+
+func TestPeriodicInverterEffectiveBias(t *testing.T) {
+	p := NewPeriodicInverter(10)
+	p.Advance(100)
+	p.Finish(100)
+	// At a 50% schedule, any raw bias balances to 0.5 (§3.2: "holding
+	// 50% of the time values inverted would produce 50% degradation").
+	for _, b := range []float64{0.0, 0.3, 0.9, 1.0} {
+		if got := p.EffectiveBias(b); math.Abs(got-0.5) > 1e-9 {
+			t.Errorf("EffectiveBias(%v) = %v, want 0.5", b, got)
+		}
+	}
+}
+
+func TestPeriodicInverterStoreLoad(t *testing.T) {
+	p := NewPeriodicInverter(100)
+	if got := p.Store(0xAB, 8); got != 0xAB {
+		t.Errorf("non-inverted store = %#x", got)
+	}
+	p.Advance(100) // inverted now
+	stored := p.Store(0xAB, 8)
+	if stored != 0x54 {
+		t.Errorf("inverted store = %#x, want 0x54", stored)
+	}
+	if got := p.Load(stored, 8); got != 0xAB {
+		t.Errorf("round trip = %#x, want 0xAB", got)
+	}
+}
+
+func TestPeriodicInverterPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPeriodicInverter(0) },
+		func() { NewPeriodicInverter(10).Store(1, 0) },
+		func() { NewPeriodicInverter(10).Store(1, 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPeriodicInverterPropertyRoundTrip(t *testing.T) {
+	// Property: Store/Load round-trips in any mode, and effective bias
+	// stays within [min(b,1-b), max(b,1-b)].
+	f := func(v uint64, flips uint8, bRaw uint8) bool {
+		p := NewPeriodicInverter(10)
+		p.Advance(uint64(flips) * 10)
+		p.Finish(uint64(flips)*10 + 5)
+		if p.Load(p.Store(v, 64), 64) != v {
+			return false
+		}
+		b := float64(bRaw) / 255
+		eb := p.EffectiveBias(b)
+		lo, hi := b, 1-b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return eb >= lo-1e-9 && eb <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicInverterFullWidth(t *testing.T) {
+	p := NewPeriodicInverter(1)
+	p.Advance(1)
+	if got := p.Store(0, 64); got != ^uint64(0) {
+		t.Errorf("64-bit inverted store of 0 = %#x", got)
+	}
+}

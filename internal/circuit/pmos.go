@@ -1,0 +1,235 @@
+package circuit
+
+import (
+	"fmt"
+
+	"penelope/internal/nbti"
+)
+
+// tapKind says where inside a gate's CMOS implementation a PMOS gate
+// terminal is connected.
+type tapKind int
+
+const (
+	tapIn     tapKind = iota // PMOS gate sees input pin Pin directly
+	tapInInv                 // PMOS gate sees the complement of input pin Pin
+	tapOutInv                // PMOS gate sees the complement of the gate output
+)
+
+// tap describes one PMOS transistor of a gate template.
+type tap struct {
+	Kind tapKind
+	Pin  int
+}
+
+// pmosTemplates maps each gate kind to the PMOS transistors of its
+// standard static-CMOS implementation and the signal each one observes:
+//
+//	INV    — one PMOS on the input.
+//	BUF    — inverter pair: PMOS on input and on the inverted input.
+//	NAND2  — two parallel PMOS, one per input.
+//	NOR2   — two series PMOS, one per input.
+//	AND2   — NAND2 plus output inverter whose PMOS sees the NAND output,
+//	         i.e. the complement of the AND output. OR2 likewise from NOR2.
+//	XOR2   — complementary pass/static implementation with local input
+//	         inverters: PMOS on both inputs and both complements. XNOR2
+//	         identical (the paper's XNOR in read/write paths, §3).
+//	MUX2   — transmission-gate mux with select inverter: PMOS on select,
+//	         its complement, and both data inputs.
+var pmosTemplates = map[Kind][]tap{
+	KindINV:   {{tapIn, 0}},
+	KindBUF:   {{tapIn, 0}, {tapInInv, 0}},
+	KindNAND2: {{tapIn, 0}, {tapIn, 1}},
+	KindNOR2:  {{tapIn, 0}, {tapIn, 1}},
+	KindAND2:  {{tapIn, 0}, {tapIn, 1}, {tapOutInv, 0}},
+	KindOR2:   {{tapIn, 0}, {tapIn, 1}, {tapOutInv, 0}},
+	KindXOR2:  {{tapIn, 0}, {tapIn, 1}, {tapInInv, 0}, {tapInInv, 1}},
+	KindXNOR2: {{tapIn, 0}, {tapIn, 1}, {tapInInv, 0}, {tapInInv, 1}},
+	KindMUX2:  {{tapIn, 0}, {tapInInv, 0}, {tapIn, 1}, {tapIn, 2}},
+	KindXOR3:  {{tapIn, 0}, {tapIn, 1}, {tapIn, 2}, {tapInInv, 0}, {tapInInv, 1}, {tapInInv, 2}},
+}
+
+// Transistor identifies one PMOS device in an elaborated netlist and
+// carries its accumulated stress statistics.
+type Transistor struct {
+	GateIndex int    // index into Netlist.Gates()
+	GateName  string // name of the owning gate
+	Tap       int    // index within the gate's PMOS template
+	Wide      bool   // width class, inherited from the gate
+
+	zeroTime  uint64 // time observed at logic "0" (under stress)
+	totalTime uint64
+}
+
+// ZeroProb returns the fraction of observed time this PMOS saw a "0" at
+// its gate — its zero-signal probability. Returns 0 before any
+// observation (fresh transistor, no stress).
+func (t *Transistor) ZeroProb() float64 {
+	if t.totalTime == 0 {
+		return 0
+	}
+	return float64(t.zeroTime) / float64(t.totalTime)
+}
+
+// StressSim elaborates a netlist into its PMOS transistors and
+// accumulates per-transistor stress as input vectors are applied.
+type StressSim struct {
+	netlist     *Netlist
+	transistors []Transistor
+	vals        []bool // scratch evaluation buffer
+}
+
+// NewStressSim returns a stress simulator for the netlist. Input and
+// constant pseudo-gates contribute no transistors.
+func NewStressSim(n *Netlist) *StressSim {
+	s := &StressSim{netlist: n, vals: make([]bool, n.NumSignals())}
+	for gi, g := range n.Gates() {
+		taps, ok := pmosTemplates[g.Kind]
+		if !ok {
+			continue
+		}
+		for ti := range taps {
+			s.transistors = append(s.transistors, Transistor{
+				GateIndex: gi, GateName: g.Name, Tap: ti, Wide: g.Wide,
+			})
+		}
+	}
+	return s
+}
+
+// Netlist returns the simulated netlist.
+func (s *StressSim) Netlist() *Netlist { return s.netlist }
+
+// NumTransistors returns the number of PMOS devices elaborated.
+func (s *StressSim) NumTransistors() int { return len(s.transistors) }
+
+// Transistors returns the transistor table. The slice is owned by the
+// simulator; callers must not modify it.
+func (s *StressSim) Transistors() []Transistor { return s.transistors }
+
+// Apply evaluates the netlist under inputs and accounts dt time units of
+// stress on every PMOS whose gate terminal observes a "0".
+func (s *StressSim) Apply(inputs []bool, dt uint64) {
+	if dt == 0 {
+		return
+	}
+	s.netlist.EvalInto(inputs, s.vals)
+	gates := s.netlist.Gates()
+	for i := range s.transistors {
+		tr := &s.transistors[i]
+		g := &gates[tr.GateIndex]
+		tp := pmosTemplates[g.Kind][tr.Tap]
+		var level bool
+		switch tp.Kind {
+		case tapIn:
+			level = s.vals[g.In[tp.Pin]]
+		case tapInInv:
+			level = !s.vals[g.In[tp.Pin]]
+		case tapOutInv:
+			level = !s.vals[g.Out]
+		}
+		tr.totalTime += dt
+		if !level {
+			tr.zeroTime += dt
+		}
+	}
+}
+
+// TotalTime returns the stress time applied so far (identical for all
+// transistors).
+func (s *StressSim) TotalTime() uint64 {
+	if len(s.transistors) == 0 {
+		return 0
+	}
+	return s.transistors[0].totalTime
+}
+
+// Reset clears all accumulated stress.
+func (s *StressSim) Reset() {
+	for i := range s.transistors {
+		s.transistors[i].zeroTime = 0
+		s.transistors[i].totalTime = 0
+	}
+}
+
+// Report summarizes the stress state of a netlist for NBTI purposes.
+type Report struct {
+	Transistors int
+	Narrow      int
+	Wide        int
+
+	// WorstNarrowZeroProb is the highest zero-signal probability of any
+	// narrow transistor; WorstEffectiveBias folds width in via
+	// nbti.Params.EffectiveBias and is what sets the guardband.
+	WorstNarrowZeroProb float64
+	WorstEffectiveBias  float64
+
+	// NarrowFullyStressed is the fraction of ALL transistors that are
+	// narrow and saw "0" 100% of the time — the Figure 4 metric.
+	NarrowFullyStressed float64
+
+	// Guardband is the cycle-time guardband the block requires given the
+	// worst effective bias.
+	Guardband float64
+}
+
+// Analyze computes the stress report under the given NBTI calibration.
+func (s *StressSim) Analyze(p nbti.Params) Report {
+	r := Report{Transistors: len(s.transistors)}
+	fullyStressed := 0
+	for i := range s.transistors {
+		tr := &s.transistors[i]
+		zp := tr.ZeroProb()
+		if tr.Wide {
+			r.Wide++
+		} else {
+			r.Narrow++
+			if zp > r.WorstNarrowZeroProb {
+				r.WorstNarrowZeroProb = zp
+			}
+			if zp >= 1 {
+				fullyStressed++
+			}
+		}
+		if eb := p.EffectiveBias(zp, tr.Wide); eb > r.WorstEffectiveBias {
+			r.WorstEffectiveBias = eb
+		}
+	}
+	if r.Transistors > 0 {
+		r.NarrowFullyStressed = float64(fullyStressed) / float64(r.Transistors)
+	}
+	r.Guardband = p.Guardband(r.WorstEffectiveBias)
+	return r
+}
+
+// String renders the report compactly for experiment logs.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"pmos=%d (narrow=%d wide=%d) worstNarrowZero=%.3f worstEffBias=%.3f narrow100%%=%.2f%% guardband=%.1f%%",
+		r.Transistors, r.Narrow, r.Wide, r.WorstNarrowZeroProb,
+		r.WorstEffectiveBias, r.NarrowFullyStressed*100, r.Guardband*100)
+}
+
+// Uint64ToBits converts the low n bits of v into a bool slice, LSB first.
+func Uint64ToBits(v uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = v&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+// BitsToUint64 packs a bool slice (LSB first, at most 64 long) into a
+// uint64.
+func BitsToUint64(bits []bool) uint64 {
+	if len(bits) > 64 {
+		panic("circuit: more than 64 bits")
+	}
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

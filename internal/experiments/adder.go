@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"penelope/internal/adder"
+	"penelope/internal/metric"
+	"penelope/internal/nbti"
+	"penelope/internal/pipeline"
+	"penelope/internal/trace"
+)
+
+// Fig4Result holds the synthetic-input pair sweep of paper Figure 4.
+type Fig4Result struct {
+	Pairs []adder.PairResult
+	Best  adder.PairResult
+}
+
+// Fig4 sweeps all 28 pairs of synthetic adder inputs and reports the
+// fraction of narrow PMOS transistors left fully stressed by each pair.
+// The paper finds pair 1+8 (<0,0,0> with <1,1,1>) best.
+func Fig4() Fig4Result {
+	ad := adder.New32()
+	params := nbti.DefaultParams()
+	pairs := ad.SweepPairs(params)
+	return Fig4Result{Pairs: pairs, Best: adder.BestPair(pairs)}
+}
+
+// Render writes the Figure 4 series.
+func (r Fig4Result) Render(w io.Writer) {
+	section(w, "Figure 4: % narrow transistors with 100% zero-signal probability")
+	for _, p := range r.Pairs {
+		fmt.Fprintf(w, "%-5s %6.2f%% %s\n", p.Label(), p.NarrowFullyStressed*100,
+			hashBar(int(p.NarrowFullyStressed*100)))
+	}
+	fmt.Fprintf(w, "best pair: %s (paper: 1+8)\n", r.Best.Label())
+}
+
+// Fig5Result holds the adder guardband scenarios of paper Figure 5 plus
+// the measured adder utilizations that justify them (§4.3).
+type Fig5Result struct {
+	// UtilPriority and UtilUniform are the measured per-adder busy
+	// fractions under the two allocation policies (paper: 11–30% with
+	// priorities, 21% uniform).
+	UtilPriority []float64
+	UtilUniform  []float64
+
+	Scenarios []adder.ScenarioResult
+
+	// Efficiency is the §4.3 NBTIefficiency of round-robin injection
+	// (paper: 1.24 at the worst-case 30% utilization).
+	Efficiency float64
+}
+
+// Fig5 measures adder utilization on the workload under both allocation
+// policies, then ages the Ladner-Fischer adder with trace-sampled real
+// operands for 100%/30%/21%/11% of the time and the best synthetic pair
+// (1+8) during the idle remainder, reporting the guardband each scenario
+// requires.
+func Fig5(o Options) Fig5Result {
+	o = o.normalized()
+	var res Fig5Result
+
+	// Measured utilizations on a representative slice of the workload.
+	cfgP := pipeline.DefaultConfig()
+	cfgP.AdderPolicy = pipeline.AdderPriority
+	cfgU := pipeline.DefaultConfig()
+	cfgU.AdderPolicy = pipeline.AdderUniform
+	util := func(cfg pipeline.Config) []float64 {
+		sum := make([]float64, cfg.NumAdders)
+		n := 0
+		for _, tr := range trace.SampleTraces(o.TraceLength, o.TraceStride*4) {
+			r := pipeline.Run(cfg, tr)
+			for i, u := range r.AdderUtil {
+				sum[i] += u
+			}
+			n++
+		}
+		for i := range sum {
+			sum[i] /= float64(n)
+		}
+		return sum
+	}
+	res.UtilPriority = util(cfgP)
+	res.UtilUniform = util(cfgU)
+
+	// Aging scenarios at the paper's utilization points.
+	ad := adder.New32()
+	params := nbti.DefaultParams()
+	src := trace.NewOperandStream(trace.SampleTraces(o.TraceLength, o.TraceStride*4))
+	samples := 400
+	for _, frac := range []float64{1.0, 0.30, 0.21, 0.11} {
+		res.Scenarios = append(res.Scenarios, ad.GuardbandScenario(src, frac, 1, 8, samples, params))
+	}
+	// §4.3: efficiency at the worst-case utilization (30% real).
+	res.Efficiency = metric.Efficiency(1.0, res.Scenarios[1].Guardband, 1.0)
+	return res
+}
+
+// Render writes the Figure 5 bars.
+func (r Fig5Result) Render(w io.Writer) {
+	section(w, "Adder utilization (§4.3)")
+	fmt.Fprintf(w, "priority allocation: ")
+	for _, u := range r.UtilPriority {
+		fmt.Fprintf(w, "%5.1f%% ", u*100)
+	}
+	fmt.Fprintf(w, " (paper: 11%%–30%%)\nuniform allocation:  ")
+	for _, u := range r.UtilUniform {
+		fmt.Fprintf(w, "%5.1f%% ", u*100)
+	}
+	fmt.Fprintf(w, " (paper: 21%%)\n")
+
+	section(w, "Figure 5: NBTI guardband for adder input scenarios")
+	paper := map[string]string{
+		"real inputs":      "20%",
+		"30% real + 1 + 8": "7.4%",
+		"21% real + 1 + 8": "5.8%",
+		"11% real + 1 + 8": "~4%",
+	}
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, "%-18s guardband %5.1f%%  (paper: %s)\n", s.Name, s.Guardband*100, paper[s.Name])
+	}
+	fmt.Fprintf(w, "NBTIefficiency at 30%% utilization: %.2f (paper: 1.24)\n", r.Efficiency)
+}

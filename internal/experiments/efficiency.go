@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"penelope/internal/metric"
+	"penelope/internal/nbti"
+)
+
+// EfficiencyInputs carries the measured quantities the §4.7 summary
+// combines. They can come from the other experiments (measured) or from
+// the paper's own numbers (reference).
+type EfficiencyInputs struct {
+	AdderGuardband float64 // Fig. 5, worst-case utilization scenario
+	IntRFWorstBias float64 // Fig. 6
+	FPRFWorstBias  float64 // Fig. 6
+	SchedWorstBias float64 // Fig. 8
+	CombinedCPI    float64 // Table 3 runs with both caches protected
+}
+
+// PaperInputs returns the values the paper reports, for the reference
+// column.
+func PaperInputs() EfficiencyInputs {
+	return EfficiencyInputs{
+		AdderGuardband: 0.074,
+		IntRFWorstBias: 0.485,
+		FPRFWorstBias:  0.545, // 45.5% bias towards 0 = 54.5% cell stress
+		SchedWorstBias: 0.632,
+		CombinedCPI:    1.007,
+	}
+}
+
+// EfficiencyResult is the §4.2/§4.7 comparison: NBTIefficiency of the
+// baseline, periodic inversion, each Penelope block and the whole
+// processor.
+type EfficiencyResult struct {
+	Inputs     EfficiencyInputs
+	Blocks     []metric.Block
+	Summary    metric.ProcessorSummary
+	Baseline   float64
+	Inversion  float64
+	Penelope   float64
+	Comparison []metric.Comparison
+}
+
+// Efficiency combines per-block measurements into the whole-processor
+// NBTIefficiency (equations 1–4). TDP factors follow the paper's
+// estimates: RINV and timestamps are below 1% of a register file, below
+// 2% of the scheduler, one line plus INVCOUNT below 1% of a cache.
+func Efficiency(in EfficiencyInputs) EfficiencyResult {
+	p := nbti.DefaultParams()
+	worst := func(bias float64) float64 {
+		if 1-bias > bias {
+			return 1 - bias
+		}
+		return bias
+	}
+	rfBias := worst(in.IntRFWorstBias)
+	if w := worst(in.FPRFWorstBias); w > rfBias {
+		rfBias = w
+	}
+	blocks := []metric.Block{
+		{Name: "adder (round-robin inputs)", CPIFactor: 1, CycleTimeFactor: 1,
+			Guardband: in.AdderGuardband, TDPFactor: 1.00},
+		{Name: "register file (ISV)", CPIFactor: 1, CycleTimeFactor: 1,
+			Guardband: p.Guardband(rfBias), TDPFactor: 1.01},
+		{Name: "scheduler (ALL1/ALL1-K%/ISV)", CPIFactor: 1, CycleTimeFactor: 1,
+			Guardband: p.Guardband(worst(in.SchedWorstBias)), TDPFactor: 1.02},
+		{Name: "DL0 (LineFixed50%)", CPIFactor: 1, CycleTimeFactor: 1,
+			Guardband: p.MinGuardband, TDPFactor: 1.01},
+		{Name: "DTLB (LineFixed50%)", CPIFactor: 1, CycleTimeFactor: 1,
+			Guardband: p.MinGuardband, TDPFactor: 1.01},
+	}
+	res := EfficiencyResult{
+		Inputs:    in,
+		Blocks:    blocks,
+		Summary:   metric.Processor(in.CombinedCPI, blocks),
+		Baseline:  metric.Baseline().Efficiency(),
+		Inversion: metric.PeriodicInversion().Efficiency(),
+	}
+	res.Penelope = res.Summary.Efficiency()
+	all := append([]metric.Block{metric.Baseline(), metric.PeriodicInversion()}, blocks...)
+	res.Comparison = metric.Compare(all)
+	return res
+}
+
+// Render writes the efficiency summary.
+func (r EfficiencyResult) Render(w io.Writer) {
+	section(w, "NBTIefficiency (eq. 1): (Delay·(1+guardband))³·TDP — lower is better")
+	fmt.Fprint(w, metric.FormatTable(r.Comparison))
+	fmt.Fprintf(w, "\nwhole-processor combination (eqs. 2-4):\n")
+	fmt.Fprintf(w, "  delay (combined CPI) %.4f, TDP %.3f, guardband %.1f%%\n",
+		r.Summary.Delay, r.Summary.TDP, r.Summary.Guardband*100)
+	fmt.Fprintf(w, "  baseline            %.2f (paper: 1.73)\n", r.Baseline)
+	fmt.Fprintf(w, "  periodic inversion  %.2f (paper: 1.41, memory-like blocks only)\n", r.Inversion)
+	fmt.Fprintf(w, "  Penelope processor  %.2f (paper: 1.28)\n", r.Penelope)
+}

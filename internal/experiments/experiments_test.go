@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"penelope/internal/mitigation"
+	"penelope/internal/sched"
+)
+
+// quickOptions keeps experiment tests fast: a handful of traces, short
+// replays.
+func quickOptions() Options {
+	return Options{TraceLength: 6000, TraceStride: 60}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"encoder", "server", "531", "TPC-C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf)
+	out := buf.String()
+	for _, want := range []string{"valid", "SRC1 data", "144"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	r := Fig1()
+	if len(r.Trace) == 0 {
+		t.Fatal("no trace points")
+	}
+	if r.LifetimeAt50 < 4 {
+		t.Errorf("lifetime at 50%% duty = %v, want >= 4", r.LifetimeAt50)
+	}
+	if r.DutyEquilibria[1.0] <= r.DutyEquilibria[0.5] {
+		t.Error("equilibrium must grow with duty")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "duty-cycle equilibria") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	r := Fig4()
+	if len(r.Pairs) != 28 {
+		t.Fatalf("got %d pairs, want 28", len(r.Pairs))
+	}
+	if r.Best.Label() != "1+8" {
+		t.Errorf("best pair = %s, want 1+8 (paper)", r.Best.Label())
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "1+8") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	r := Fig5(quickOptions())
+	if len(r.Scenarios) != 4 {
+		t.Fatalf("got %d scenarios, want 4", len(r.Scenarios))
+	}
+	// Figure 5 shape: guardband falls monotonically with idle share.
+	for i := 1; i < len(r.Scenarios); i++ {
+		if r.Scenarios[i].Guardband >= r.Scenarios[i-1].Guardband {
+			t.Errorf("guardband must fall: %v then %v",
+				r.Scenarios[i-1].Guardband, r.Scenarios[i].Guardband)
+		}
+	}
+	if r.Scenarios[0].Guardband < 0.15 {
+		t.Errorf("real-inputs guardband = %v, want near 20%%", r.Scenarios[0].Guardband)
+	}
+	if r.Efficiency >= 1.73 {
+		t.Errorf("round-robin efficiency = %v, must beat the baseline 1.73", r.Efficiency)
+	}
+	// Priority allocation skews utilization; uniform flattens it.
+	if len(r.UtilPriority) == 0 || len(r.UtilUniform) == 0 {
+		t.Fatal("missing utilizations")
+	}
+	if r.UtilPriority[0] <= r.UtilUniform[0] {
+		t.Error("priority policy should load adder 0 above the uniform share")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r := Fig6(quickOptions())
+	if r.IntWorstBaseline < 0.70 {
+		t.Errorf("baseline int worst bias = %v, want high (paper: 0.899)", r.IntWorstBaseline)
+	}
+	if r.IntWorstISV > 0.60 {
+		t.Errorf("ISV int worst bias = %v, want near 0.5 (paper: 0.485)", r.IntWorstISV)
+	}
+	if r.FPWorstISV >= r.FPWorstBaseline {
+		t.Error("ISV must improve the FP file")
+	}
+	if r.FreeInt < 0.5 || r.FreeFP < 0.5 {
+		t.Error("register files must be free most of the time for ISV to apply")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r := Fig8(quickOptions())
+	if r.WorstBaseline < 0.95 {
+		t.Errorf("baseline worst bias = %v, want ~1.0", r.WorstBaseline)
+	}
+	if r.WorstProtected >= r.WorstBaseline {
+		t.Error("protection must reduce the worst bias")
+	}
+	if r.WorstProtected > 0.85 {
+		t.Errorf("protected worst bias = %v, want well below baseline (paper: 0.632)", r.WorstProtected)
+	}
+	// Classification spot checks from §4.5.
+	if got := r.Plan.Technique(sched.FieldShift1); got != mitigation.TechALL1 {
+		t.Errorf("shift1 = %v, want ALL1", got)
+	}
+	if got := r.Plan.Technique(sched.FieldSRC1Data); got != mitigation.TechISV {
+		t.Errorf("SRC1 data = %v, want ISV", got)
+	}
+	if got := r.Plan.Technique(sched.FieldDSTTag); got != mitigation.TechSelfBalanced {
+		t.Errorf("DST tag = %v, want self-balanced", got)
+	}
+	if got := r.Plan.Technique(sched.FieldValid); got != mitigation.TechUncovered {
+		t.Errorf("valid = %v, want uncovered", got)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table3 sweep is slow")
+	}
+	r := Table3(Options{TraceLength: 4000, TraceStride: 120})
+	if len(r.Rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(r.Rows))
+	}
+	// Shape: DL0 losses grow as the cache shrinks for the fixed scheme.
+	if !(r.Rows[0].SetFixed50 < r.Rows[2].SetFixed50) {
+		t.Errorf("SetFixed loss should grow as DL0 shrinks: 32KB=%v 8KB=%v",
+			r.Rows[0].SetFixed50, r.Rows[2].SetFixed50)
+	}
+	// The combined run must cost something but stay small.
+	if r.CombinedCPI < 1.0 || r.CombinedCPI > 1.15 {
+		t.Errorf("combined CPI = %v, want slightly above 1 (paper: 1.007)", r.CombinedCPI)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Table 3") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestEfficiencyPaperInputs(t *testing.T) {
+	r := Efficiency(PaperInputs())
+	if r.Baseline < 1.72 || r.Baseline > 1.74 {
+		t.Errorf("baseline = %v, want 1.73", r.Baseline)
+	}
+	if r.Inversion < 1.40 || r.Inversion > 1.42 {
+		t.Errorf("periodic inversion = %v, want 1.41", r.Inversion)
+	}
+	if r.Penelope < 1.25 || r.Penelope > 1.31 {
+		t.Errorf("Penelope = %v, want 1.28", r.Penelope)
+	}
+	if !(r.Penelope < r.Inversion && r.Inversion < r.Baseline) {
+		t.Error("ordering must be Penelope < inversion < baseline")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "NBTIefficiency") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestMRUStudy(t *testing.T) {
+	var buf bytes.Buffer
+	MRUStudy(quickOptions(), &buf)
+	if !strings.Contains(buf.String(), "MRU+0") {
+		t.Error("MRU study output incomplete")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalized()
+	if o.TraceLength <= 0 || o.TraceStride <= 0 {
+		t.Error("normalized options must be positive")
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBpredExtension(t *testing.T) {
+	r := Bpred(quickOptions())
+	if r.BaselineBias < 0.80 {
+		t.Errorf("baseline predictor bias = %.3f, want high", r.BaselineBias)
+	}
+	if r.InvertedBias >= r.BaselineBias {
+		t.Error("inversion must reduce counter-cell bias")
+	}
+	if r.InvertedBias > 0.70 {
+		t.Errorf("inverted predictor bias = %.3f, want near 0.5", r.InvertedBias)
+	}
+	// The mechanism must not wreck prediction.
+	if r.BaselineAccuracy-r.InvertedAccuracy > 0.10 {
+		t.Errorf("accuracy dropped %.3f -> %.3f, too costly",
+			r.BaselineAccuracy, r.InvertedAccuracy)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "branch predictor") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestLatchExtension(t *testing.T) {
+	r := Latch(quickOptions())
+	// §3.3/§4.3 shape: alternating the complementary pair is far better
+	// for the latches than either real data or a single parked input.
+	if !(r.Pair < r.SingleInput && r.Pair < r.RealOnly) {
+		t.Errorf("pair (%.3f) must beat single (%.3f) and real-only (%.3f)",
+			r.Pair, r.SingleInput, r.RealOnly)
+	}
+	if r.Pair > 0.70 {
+		t.Errorf("alternating-pair latch bias = %.3f, want near balance", r.Pair)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "latch") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestVminExtension(t *testing.T) {
+	f6 := Fig6(quickOptions())
+	f8 := Fig8(quickOptions())
+	r := Vmin(f6, f8)
+	if len(r.Structures) != 3 {
+		t.Fatalf("got %d structures, want 3", len(r.Structures))
+	}
+	for _, s := range r.Structures {
+		if s.VminAfter > s.VminBefore {
+			t.Errorf("%s: Vmin guardband must not grow (%.3f -> %.3f)",
+				s.Name, s.VminBefore, s.VminAfter)
+		}
+		if s.EnergySaving < 0 {
+			t.Errorf("%s: negative energy saving %.4f", s.Name, s.EnergySaving)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Vmin") {
+		t.Error("render incomplete")
+	}
+}

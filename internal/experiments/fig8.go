@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"penelope/internal/pipeline"
+	"penelope/internal/sched"
+	"penelope/internal/trace"
+)
+
+// Fig8Result holds the scheduler bit-bias study of paper Figure 8 and
+// the §4.5 field classification (Table 2).
+type Fig8Result struct {
+	Baseline  sched.Report
+	Protected sched.Report
+	Plan      *sched.Plan
+
+	WorstBaseline  float64
+	WorstProtected float64
+}
+
+// Fig8 profiles the scheduler on a slice of the workload to build the
+// per-field technique plan (the paper profiles K on 100 of the 531
+// traces), then evaluates baseline and protected schedulers on the
+// remaining traces.
+func Fig8(o Options) Fig8Result {
+	o = o.normalized()
+	traces := o.traces()
+	profileN := len(traces) / 5
+	if profileN < 1 {
+		profileN = 1
+	}
+	base := pipeline.DefaultConfig()
+	profile := aggregateSchedReports(base, traces[:profileN])
+	plan := sched.BuildPlan(profile)
+
+	prot := pipeline.DefaultConfig()
+	prot.SchedPlan = plan
+
+	res := Fig8Result{
+		Plan:      plan,
+		Baseline:  aggregateSchedReports(base, traces[profileN:]),
+		Protected: aggregateSchedReports(prot, traces[profileN:]),
+	}
+	res.WorstBaseline = res.Baseline.WorstBias()
+	res.WorstProtected = res.Protected.WorstBias()
+	return res
+}
+
+// aggregateSchedReports averages scheduler field reports across traces
+// run on fresh cores.
+func aggregateSchedReports(cfg pipeline.Config, traces []*trace.Trace) sched.Report {
+	var agg sched.Report
+	n := 0
+	for _, tr := range traces {
+		r := pipeline.Run(cfg, tr).Sched
+		if n == 0 {
+			agg = r
+			for fi := range agg.Fields {
+				agg.Fields[fi].Biases = append([]float64(nil), r.Fields[fi].Biases...)
+				agg.Fields[fi].BusyBias = append([]float64(nil), r.Fields[fi].BusyBias...)
+			}
+		} else {
+			agg.EntryOccupancy += r.EntryOccupancy
+			agg.DataOccupancy += r.DataOccupancy
+			agg.PortAvailability += r.PortAvailability
+			agg.Dispatches += r.Dispatches
+			agg.RepairWrites += r.RepairWrites
+			agg.RepairDiscarded += r.RepairDiscarded
+			for fi := range agg.Fields {
+				agg.Fields[fi].Occupancy += r.Fields[fi].Occupancy
+				for b := range agg.Fields[fi].Biases {
+					agg.Fields[fi].Biases[b] += r.Fields[fi].Biases[b]
+					agg.Fields[fi].BusyBias[b] += r.Fields[fi].BusyBias[b]
+				}
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		return agg
+	}
+	inv := 1 / float64(n)
+	agg.EntryOccupancy *= inv
+	agg.DataOccupancy *= inv
+	agg.PortAvailability *= inv
+	for fi := range agg.Fields {
+		f := &agg.Fields[fi]
+		f.Occupancy *= inv
+		worst := 0.5
+		for b := range f.Biases {
+			f.Biases[b] *= inv
+			f.BusyBias[b] *= inv
+			if f.Biases[b] > worst {
+				worst = f.Biases[b]
+			}
+			if 1-f.Biases[b] > worst {
+				worst = 1 - f.Biases[b]
+			}
+		}
+		f.WorstBias = worst
+	}
+	return agg
+}
+
+// Render writes the Figure 8 series and the field classification.
+func (r Fig8Result) Render(w io.Writer) {
+	section(w, "Figure 8: scheduler bit bias (bias towards \"0\")")
+	fmt.Fprintf(w, "entry occupancy %.1f%% (paper: 63%%), data fields %.1f%% busy (paper: 25-30%%), ports available %.1f%% (paper: 77%%)\n\n",
+		r.Baseline.EntryOccupancy*100, r.Baseline.DataOccupancy*100, r.Baseline.PortAvailability*100)
+
+	fmt.Fprintf(w, "%-12s %5s %12s %12s  %-14s\n", "field", "bits", "base worst", "prot worst", "technique")
+	for fi, bf := range r.Baseline.Fields {
+		spec := sched.Spec(bf.ID)
+		if !spec.Plot {
+			continue
+		}
+		pf := r.Protected.Fields[fi]
+		fmt.Fprintf(w, "%-12s %5d %11.1f%% %11.1f%%  %-14s\n",
+			bf.Name, bf.Bits, bf.WorstBias*100, pf.WorstBias*100, r.Plan.Technique(bf.ID))
+	}
+	fmt.Fprintf(w, "\nworst-case bias: baseline %.1f%% -> protected %.1f%% (paper: ~100%% -> 63.2%%)\n",
+		r.WorstBaseline*100, r.WorstProtected*100)
+
+	fmt.Fprintln(w, "\nper-bit series (plottable fields concatenated, baseline | protected):")
+	bb := r.Baseline.BitSeries()
+	pb := r.Protected.BitSeries()
+	for i := range bb {
+		fmt.Fprintf(w, "%4d %6.1f%% %6.1f%%\n", i+1, bb[i]*100, pb[i]*100)
+	}
+}
+
+// Table2 prints the scheduler field layout (paper Table 2).
+func Table2(w io.Writer) {
+	section(w, "Table 2: scheduler fields")
+	fmt.Fprintf(w, "%-12s %5s  %s\n", "field", "bits", "description")
+	for _, f := range sched.Specs() {
+		fmt.Fprintf(w, "%-12s %5d  %s\n", f.Name, f.Bits, f.Description)
+	}
+	fmt.Fprintf(w, "%-12s %5d\n", "total", sched.TotalBits())
+}

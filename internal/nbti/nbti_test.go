@@ -1,0 +1,183 @@
+package nbti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDefaultParamsValid(t *testing.T) {
+	if !DefaultParams().Valid() {
+		t.Fatal("DefaultParams must be valid")
+	}
+}
+
+func TestParamsValidRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero N0", func(p *Params) { p.N0 = 0 }},
+		{"negative KStress", func(p *Params) { p.KStress = -1 }},
+		{"guardband inversion", func(p *Params) { p.MinGuardband = 0.5 }},
+		{"width factor above one", func(p *Params) { p.WideWidthFactor = 2 }},
+		{"recovery above one", func(p *Params) { p.RecoveryStrength = 1.5 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mutate(&p)
+			if p.Valid() {
+				t.Error("expected invalid parameters")
+			}
+		})
+	}
+}
+
+func TestEquilibriumAnchors(t *testing.T) {
+	p := DefaultParams()
+	if got := p.EquilibriumTraps(1); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("equilibrium at DC = %v, want 1", got)
+	}
+	if got := p.EquilibriumTraps(0); got != 0 {
+		t.Errorf("equilibrium at no stress = %v, want 0", got)
+	}
+	// The 10X VTH-shift reduction at 50% duty the paper cites from [1].
+	if got := p.RelativeDegradation(0.5); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("relative degradation at 50%% duty = %v, want 0.1", got)
+	}
+}
+
+func TestEquilibriumMonotone(t *testing.T) {
+	p := DefaultParams()
+	prev := -1.0
+	for d := 0.0; d <= 1.0; d += 0.01 {
+		cur := p.EquilibriumTraps(d)
+		if cur < prev {
+			t.Fatalf("equilibrium not monotone at duty %v", d)
+		}
+		prev = cur
+	}
+}
+
+func TestVTHShiftAnchors(t *testing.T) {
+	p := DefaultParams()
+	if got := p.VTHShift(1); !almostEqual(got, 0.10, 1e-12) {
+		t.Errorf("VTH shift at DC = %v, want 0.10", got)
+	}
+	if got := p.VTHShift(0.5); !almostEqual(got, 0.01, 1e-12) {
+		t.Errorf("VTH shift at 50%% = %v, want 0.01 (10X lower)", got)
+	}
+	if got := p.VminIncrease(0.5); !almostEqual(got, 0.01, 1e-12) {
+		t.Errorf("Vmin increase = %v, want 0.01", got)
+	}
+}
+
+// TestGuardbandPaperAnchors checks every guardband number the paper
+// quotes against the calibrated map (see DESIGN.md §2).
+func TestGuardbandPaperAnchors(t *testing.T) {
+	p := DefaultParams()
+	tests := []struct {
+		name string
+		bias float64
+		want float64
+		eps  float64
+	}{
+		{"worst case 20%", 1.0, 0.20, 1e-12},
+		{"perfect balance 2%", 0.5, 0.02, 1e-12},
+		{"adder at 21% utilization -> 5.8%", 0.605, 0.058, 0.001},
+		{"adder at 30% utilization -> 7.4%", 0.65, 0.074, 0.001},
+		{"adder at 11% utilization -> 4.0%", 0.555, 0.040, 0.001},
+		{"register file worst bias -> 3.6%", 0.545, 0.036, 0.001},
+		{"scheduler worst bias -> 6.7%", 0.632, 0.0675, 0.001},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Guardband(tc.bias); !almostEqual(got, tc.want, tc.eps) {
+				t.Errorf("Guardband(%v) = %v, want %v", tc.bias, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGuardbandClamps(t *testing.T) {
+	p := DefaultParams()
+	if got := p.Guardband(0.2); !almostEqual(got, p.MinGuardband, 1e-12) {
+		t.Errorf("Guardband below 0.5 = %v, want MinGuardband", got)
+	}
+	if got := p.Guardband(1.5); !almostEqual(got, p.MaxGuardband, 1e-12) {
+		t.Errorf("Guardband above 1.0 = %v, want MaxGuardband", got)
+	}
+}
+
+func TestCellGuardbandSymmetric(t *testing.T) {
+	p := DefaultParams()
+	if a, b := p.CellGuardband(0.9), p.CellGuardband(0.1); !almostEqual(a, b, 1e-12) {
+		t.Errorf("cell guardband must be symmetric: %v vs %v", a, b)
+	}
+	if got := p.CellGuardband(0.5); !almostEqual(got, p.MinGuardband, 1e-12) {
+		t.Errorf("balanced cell guardband = %v, want minimum", got)
+	}
+}
+
+func TestEffectiveBiasWide(t *testing.T) {
+	p := DefaultParams()
+	// §4.3: wide PMOS at 100% zero-signal probability degrade less than
+	// narrow PMOS at 50%.
+	wide := p.EffectiveBias(1.0, true)
+	if wide >= 0.75 {
+		t.Errorf("wide transistor effective bias %v should stay below narrow@0.75", wide)
+	}
+	if got := p.EffectiveBias(0.7, false); got != 0.7 {
+		t.Errorf("narrow transistor bias must pass through, got %v", got)
+	}
+	// Symmetry below the neutral point.
+	lo := p.EffectiveBias(0.0, true)
+	if !almostEqual(lo, 0.5-p.WideWidthFactor*0.5, 1e-12) {
+		t.Errorf("wide low-side bias = %v", lo)
+	}
+}
+
+func TestLifetimeFactor(t *testing.T) {
+	p := DefaultParams()
+	if got := p.LifetimeFactor(1); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("lifetime at DC = %v, want 1", got)
+	}
+	// The paper's "lifetime can be increased by a factor of at least 4X"
+	// at balanced duty [4].
+	if got := p.LifetimeFactor(0.5); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("lifetime at 50%% duty = %v, want 4", got)
+	}
+	if got := p.LifetimeFactor(0); !math.IsInf(got, 1) {
+		t.Errorf("lifetime with no stress = %v, want +Inf", got)
+	}
+}
+
+func TestGuardbandPropertyMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(aRaw, bRaw uint16) bool {
+		a := 0.5 + float64(aRaw)/float64(math.MaxUint16)/2
+		b := 0.5 + float64(bRaw)/float64(math.MaxUint16)/2
+		if a > b {
+			a, b = b, a
+		}
+		return p.Guardband(a) <= p.Guardband(b)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquilibriumPropertyBounded(t *testing.T) {
+	p := DefaultParams()
+	f := func(dRaw uint16) bool {
+		d := float64(dRaw) / float64(math.MaxUint16)
+		e := p.EquilibriumTraps(d)
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package nbti
+
+// This file models the two fallback/benefit mechanisms the paper
+// mentions but does not center on: resizing PMOS transistors that cannot
+// be balanced (§2.1 "NBTI can be mitigated by using wider transistors,
+// but it has an impact in delay, area and power"; §3.2 situation III;
+// §4.5 "such resizing has a cost in power, area and delay"), and the
+// Vmin/energy benefit of balanced storage cells (§1, §5).
+
+// ResizeCost describes what widening a transistor costs.
+type ResizeCost struct {
+	// WidthMultiple is the required width relative to nominal.
+	WidthMultiple float64
+	// AreaFactor and PowerFactor scale linearly with width for the
+	// resized device.
+	AreaFactor  float64
+	PowerFactor float64
+}
+
+// ResizeFor returns the widening needed so a transistor stressed with
+// the given zero-signal probability meets the guardband budget
+// targetGuardband. Widening by w scales the effective stress distance
+// from neutral by 1/w (the same first-order model as EffectiveBias):
+//
+//	0.5 + (bias-0.5)/w  <=  biasFor(targetGuardband)
+//
+// ok is false when the target is below the technology's residual
+// MinGuardband, which no amount of widening reaches.
+func (p Params) ResizeFor(bias, targetGuardband float64) (ResizeCost, bool) {
+	if bias < 0.5 {
+		bias = 1 - bias // cell view: the complementary PMOS is stressed
+	}
+	if targetGuardband <= p.MinGuardband {
+		return ResizeCost{}, false
+	}
+	if targetGuardband >= p.Guardband(bias) {
+		// Already within budget: nominal width.
+		return ResizeCost{WidthMultiple: 1, AreaFactor: 1, PowerFactor: 1}, true
+	}
+	// Invert the guardband map to the admissible bias.
+	biasTarget := 0.5 + (targetGuardband-p.MinGuardband)/(p.MaxGuardband-p.MinGuardband)/2
+	w := (bias - 0.5) / (biasTarget - 0.5)
+	return ResizeCost{WidthMultiple: w, AreaFactor: w, PowerFactor: w}, true
+}
+
+// EnergySaving returns the relative dynamic-energy saving of a storage
+// structure whose Vmin guardband shrinks from the bias before mitigation
+// to the bias after. Supply voltage tracks Vmin (E ∝ V²), so balancing
+// bias lets the structure run at a lower voltage:
+//
+//	saving = 1 - ((1+Vmin_after)/(1+Vmin_before))²
+func (p Params) EnergySaving(biasBefore, biasAfter float64) float64 {
+	vb := 1 + p.VminIncrease(cellView(biasBefore))
+	va := 1 + p.VminIncrease(cellView(biasAfter))
+	r := va / vb
+	return 1 - r*r
+}
+
+func cellView(bias float64) float64 {
+	if bias < 0.5 {
+		return 1 - bias
+	}
+	return bias
+}

@@ -1,0 +1,99 @@
+package nbti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResizeForAlreadyWithinBudget(t *testing.T) {
+	p := DefaultParams()
+	cost, ok := p.ResizeFor(0.55, 0.10)
+	if !ok || cost.WidthMultiple != 1 {
+		t.Errorf("bias 0.55 within 10%% budget should need nominal width, got %+v ok=%v", cost, ok)
+	}
+}
+
+func TestResizeForImpossibleTarget(t *testing.T) {
+	p := DefaultParams()
+	if _, ok := p.ResizeFor(0.9, p.MinGuardband/2); ok {
+		t.Error("target below the residual guardband must be unreachable")
+	}
+}
+
+func TestResizeForMeetsTarget(t *testing.T) {
+	p := DefaultParams()
+	bias := 0.95
+	target := 0.05
+	cost, ok := p.ResizeFor(bias, target)
+	if !ok {
+		t.Fatal("resize should be possible")
+	}
+	if cost.WidthMultiple <= 1 {
+		t.Fatalf("widening factor = %v, want > 1", cost.WidthMultiple)
+	}
+	// Check: effective bias after widening meets the guardband budget.
+	eff := 0.5 + (bias-0.5)/cost.WidthMultiple
+	if got := p.Guardband(eff); got > target+1e-9 {
+		t.Errorf("guardband after resize = %v, want <= %v", got, target)
+	}
+	if cost.AreaFactor != cost.WidthMultiple || cost.PowerFactor != cost.WidthMultiple {
+		t.Error("area and power must scale with width")
+	}
+}
+
+func TestResizeForSymmetric(t *testing.T) {
+	p := DefaultParams()
+	a, okA := p.ResizeFor(0.9, 0.05)
+	b, okB := p.ResizeFor(0.1, 0.05)
+	if okA != okB || a != b {
+		t.Error("resize must treat bias 0.9 and 0.1 identically (cell view)")
+	}
+}
+
+func TestResizePropertyMonotone(t *testing.T) {
+	// Property: a worse bias never needs a narrower transistor for the
+	// same target.
+	p := DefaultParams()
+	f := func(b1Raw, b2Raw uint8) bool {
+		b1 := 0.6 + float64(b1Raw)/255*0.4
+		b2 := 0.6 + float64(b2Raw)/255*0.4
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		c1, ok1 := p.ResizeFor(b1, 0.05)
+		c2, ok2 := p.ResizeFor(b2, 0.05)
+		return ok1 && ok2 && c1.WidthMultiple <= c2.WidthMultiple+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergySaving(t *testing.T) {
+	p := DefaultParams()
+	// Balancing a 90%-biased structure to 50% cuts Vmin guardband ~9X
+	// and saves measurable energy.
+	s := p.EnergySaving(0.9, 0.5)
+	if s <= 0 || s >= 0.5 {
+		t.Errorf("energy saving = %v, want small positive fraction", s)
+	}
+	if got := p.EnergySaving(0.5, 0.5); got != 0 {
+		t.Errorf("no bias change should save nothing, got %v", got)
+	}
+	// Symmetric in cell view.
+	if a, b := p.EnergySaving(0.9, 0.5), p.EnergySaving(0.1, 0.5); a != b {
+		t.Errorf("energy saving must be symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestEnergySavingPropertyOrdering(t *testing.T) {
+	p := DefaultParams()
+	f := func(bRaw uint8) bool {
+		b := 0.5 + float64(bRaw)/255*0.5
+		// More imbalance before -> more to gain by balancing.
+		return p.EnergySaving(b, 0.5) >= p.EnergySaving((b+0.5)/2, 0.5)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

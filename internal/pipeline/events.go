@@ -1,0 +1,72 @@
+package pipeline
+
+import "container/heap"
+
+// event is a deferred action at a cycle. Events with equal times fire in
+// insertion order so runs are deterministic.
+type event struct {
+	time uint64
+	seq  uint64
+	fn   func(cycle uint64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// wheel schedules and fires events in time order.
+type wheel struct {
+	h   eventHeap
+	seq uint64
+}
+
+// at schedules fn to run at the given cycle.
+func (w *wheel) at(cycle uint64, fn func(cycle uint64)) {
+	w.seq++
+	heap.Push(&w.h, event{time: cycle, seq: w.seq, fn: fn})
+}
+
+// fireUpTo runs every event with time ≤ cycle, in order.
+func (w *wheel) fireUpTo(cycle uint64) {
+	for len(w.h) > 0 && w.h[0].time <= cycle {
+		e := heap.Pop(&w.h).(event)
+		e.fn(e.time)
+	}
+}
+
+// drain runs all remaining events and returns the time of the last one.
+func (w *wheel) drain() uint64 {
+	var last uint64
+	for len(w.h) > 0 {
+		e := heap.Pop(&w.h).(event)
+		e.fn(e.time)
+		if e.time > last {
+			last = e.time
+		}
+	}
+	return last
+}
+
+// nextTime returns the time of the earliest pending event, or ^uint64(0)
+// if none.
+func (w *wheel) nextTime() uint64 {
+	if len(w.h) == 0 {
+		return ^uint64(0)
+	}
+	return w.h[0].time
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWheelFiresInOrder(t *testing.T) {
+	var w wheel
+	var got []uint64
+	for _, tm := range []uint64{5, 1, 3, 1, 9} {
+		tm := tm
+		w.at(tm, func(cyc uint64) { got = append(got, cyc) })
+	}
+	w.fireUpTo(4)
+	want := []uint64{1, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if last := w.drain(); last != 9 {
+		t.Fatalf("drain returned %d, want 9", last)
+	}
+}
+
+func TestWheelTieBreaksFIFO(t *testing.T) {
+	var w wheel
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		w.at(7, func(uint64) { order = append(order, i) })
+	}
+	w.drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestWheelNextTime(t *testing.T) {
+	var w wheel
+	if w.nextTime() != ^uint64(0) {
+		t.Fatal("empty wheel nextTime should be max")
+	}
+	w.at(42, func(uint64) {})
+	if w.nextTime() != 42 {
+		t.Fatalf("nextTime = %d, want 42", w.nextTime())
+	}
+}
+
+func TestWheelPropertySortedDelivery(t *testing.T) {
+	f := func(times []uint16) bool {
+		var w wheel
+		var fired []uint64
+		for _, tm := range times {
+			w.at(uint64(tm), func(cyc uint64) { fired = append(fired, cyc) })
+		}
+		w.drain()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,397 @@
+package pipeline
+
+import (
+	"penelope/internal/cache"
+	"penelope/internal/regfile"
+	"penelope/internal/sched"
+	"penelope/internal/trace"
+)
+
+// Result is the outcome of running one trace through the core.
+type Result struct {
+	Trace  string
+	Uops   uint64
+	Cycles uint64
+	CPI    float64
+
+	IntRF regfile.Report
+	FPRF  regfile.Report
+	Sched sched.Report
+
+	DL0MissRate   float64
+	DTLBMissRate  float64
+	DL0MRUHits    float64 // fraction of DL0 hits at the MRU position
+	DL0Inverted   float64 // average inverted-line fraction
+	DTLBInverted  float64
+	DL0Stats      cache.Stats
+	DTLBStats     cache.Stats
+	AdderUtil     []float64 // per-adder busy fraction
+	AdderUtilMean float64
+}
+
+// core is the running state of one simulation.
+type core struct {
+	cfg   Config
+	w     wheel
+	cycle uint64
+
+	intRF *regfile.File
+	fpRF  *regfile.File
+	sch   *sched.Scheduler
+	dl0   *cache.Cache
+	dtlb  *cache.Cache
+
+	intRAT [trace.NumIntRegs]int
+	fpRAT  [trace.NumFPRegs]int
+	ready  map[int]uint64 // int phys reg -> ready cycle
+	fready map[int]uint64 // fp phys reg -> ready cycle
+
+	portFree  []uint64 // issue port -> next free cycle
+	adderFree []uint64 // adder -> next free cycle
+	adderBusy []uint64 // adder -> total busy cycles
+	adderRR   int
+
+	robCount    int
+	lastRetire  uint64
+	retiredAt   uint64
+	retiredThis int
+
+	dispatched      uint64
+	allocThis       int
+	allocCycle      uint64
+	frontStallUntil uint64
+}
+
+// Run simulates one trace through a core built from cfg and returns the
+// measured statistics. The trace is reset first; runs are deterministic.
+func Run(cfg Config, tr *trace.Trace) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	tr.Reset()
+	c := &core{
+		cfg: cfg,
+		intRF: regfile.New(regfile.Config{
+			Name: "int", Entries: cfg.IntRegs, Bits: 32,
+			WritePorts: cfg.IntWritePorts, RINVPeriod: cfg.RINVPeriod,
+			EnableISV: cfg.EnableISV,
+		}),
+		fpRF: regfile.New(regfile.Config{
+			Name: "fp", Entries: cfg.FPRegs, Bits: 80,
+			WritePorts: cfg.FPWritePorts, RINVPeriod: cfg.RINVPeriod,
+			EnableISV: cfg.EnableISV,
+		}),
+		sch: sched.New(sched.Config{
+			Entries: cfg.SchedEntries, AllocPorts: cfg.AllocPorts,
+			RINVPeriod: cfg.RINVPeriod, Plan: cfg.SchedPlan,
+		}),
+		dl0:       cache.New("DL0", cfg.DL0Bytes, cfg.DL0Line, cfg.DL0Ways, cfg.DL0Options),
+		dtlb:      cache.NewTLB("DTLB", cfg.DTLBEntries, cfg.DTLBWays, cfg.PageBytes, cfg.DTLBOptions),
+		ready:     map[int]uint64{},
+		fready:    map[int]uint64{},
+		portFree:  make([]uint64, cfg.IssuePorts),
+		adderFree: make([]uint64, cfg.NumAdders),
+		adderBusy: make([]uint64, cfg.NumAdders),
+	}
+	// Architectural state: allocate and zero-fill the committed
+	// registers at cycle 0 (the cold-start state §4.4 mentions).
+	for i := 0; i < trace.NumIntRegs; i++ {
+		r, _ := c.intRF.Allocate(0)
+		c.intRF.Write(r, 0, 0, 0)
+		c.intRAT[i] = r
+	}
+	for i := 0; i < trace.NumFPRegs; i++ {
+		r, _ := c.fpRF.Allocate(0)
+		c.fpRF.Write(r, 0, 0, 0)
+		c.fpRAT[i] = r
+	}
+
+	for {
+		u, ok := tr.Next()
+		if !ok {
+			break
+		}
+		c.dispatchUop(&u)
+	}
+	end := c.w.drain()
+	if end < c.cycle {
+		end = c.cycle
+	}
+	end++
+	c.intRF.Finish(end)
+	c.fpRF.Finish(end)
+	c.sch.Finish(end)
+
+	res := Result{
+		Trace:  tr.Name(),
+		Uops:   c.dispatched,
+		Cycles: end,
+		IntRF:  c.intRF.Report(),
+		FPRF:   c.fpRF.Report(),
+		Sched:  c.sch.Report(),
+	}
+	if c.dispatched > 0 {
+		res.CPI = float64(end) / float64(c.dispatched)
+	}
+	res.DL0Stats = *c.dl0.Stats()
+	res.DTLBStats = *c.dtlb.Stats()
+	res.DL0MissRate = res.DL0Stats.MissRate()
+	res.DTLBMissRate = res.DTLBStats.MissRate()
+	res.DL0MRUHits = res.DL0Stats.MRUHitFraction(0)
+	res.DL0Inverted = res.DL0Stats.AvgInvertedFraction(c.dl0.Lines())
+	res.DTLBInverted = res.DTLBStats.AvgInvertedFraction(c.dtlb.Lines())
+	res.AdderUtil = make([]float64, cfg.NumAdders)
+	var sum float64
+	for i, busy := range c.adderBusy {
+		res.AdderUtil[i] = float64(busy) / float64(end)
+		sum += res.AdderUtil[i]
+	}
+	res.AdderUtilMean = sum / float64(cfg.NumAdders)
+	return res
+}
+
+// advanceTo moves the core clock forward, firing pending events.
+func (c *core) advanceTo(cycle uint64) {
+	if cycle > c.cycle {
+		c.cycle = cycle
+	}
+	c.w.fireUpTo(c.cycle)
+}
+
+// dispatchUop renames, schedules and executes one uop, stalling the
+// front end as resources demand.
+func (c *core) dispatchUop(u *trace.Uop) {
+	// Front-end redirect after a mispredicted branch.
+	if c.cycle < c.frontStallUntil {
+		c.advanceTo(c.frontStallUntil)
+	}
+	// I-cache miss bubble: fetch delivers nothing while the line comes
+	// in, letting the back-end window drain.
+	if u.FetchBubble > 0 {
+		c.advanceTo(c.cycle + uint64(u.FetchBubble))
+		c.allocCycle = c.cycle
+		c.allocThis = 0
+	}
+	// Allocation bandwidth.
+	if c.allocCycle != c.cycle {
+		c.allocCycle = c.cycle
+		c.allocThis = 0
+	}
+	if c.allocThis >= c.cfg.AllocWidth {
+		c.advanceTo(c.cycle + 1)
+		c.allocCycle = c.cycle
+		c.allocThis = 0
+	}
+
+	// Stall until a scheduler slot, ROB slot and destination register
+	// are available.
+	for {
+		c.w.fireUpTo(c.cycle)
+		if c.sch.FreeSlots() == 0 || c.robCount >= c.cfg.ROB || !c.destAvailable(u) {
+			next := c.w.nextTime()
+			if next == ^uint64(0) {
+				c.advanceTo(c.cycle + 1)
+			} else if next > c.cycle {
+				c.advanceTo(next)
+			} else {
+				c.advanceTo(c.cycle + 1)
+			}
+			c.allocCycle = c.cycle
+			c.allocThis = 0
+			continue
+		}
+		break
+	}
+	dispatch := c.cycle
+	c.allocThis++
+	c.dispatched++
+	c.robCount++
+
+	// Rename sources.
+	src1Phys, src1Ready := c.lookupSrc(u, u.Src1)
+	src2Phys, src2Ready := c.lookupSrc(u, u.Src2)
+
+	// Rename destination.
+	dstPhys, prevPhys := -1, -1
+	if u.Dst >= 0 {
+		if u.Class.IsFP() {
+			dstPhys, _ = c.fpRF.Allocate(dispatch)
+			prevPhys = c.fpRAT[u.Dst]
+			c.fpRAT[u.Dst] = dstPhys
+		} else {
+			dstPhys, _ = c.intRF.Allocate(dispatch)
+			prevPhys = c.intRAT[u.Dst]
+			c.intRAT[u.Dst] = dstPhys
+		}
+	}
+
+	// Operand readiness (two cycles of scheduling-loop latency) and
+	// issue-port contention: ALU uops may issue on port 0 or 1, the
+	// other classes are port-affine.
+	ready := dispatch + 2
+	if src1Ready > ready {
+		ready = src1Ready
+	}
+	if src2Ready > ready {
+		ready = src2Ready
+	}
+	port := u.Class.Port()
+	switch {
+	case u.Class == trace.ClassALU && c.portFree[1] < c.portFree[0]:
+		port = 1
+	case (u.Class.IsFP() || u.Class == trace.ClassMul) && c.portFree[0] < c.portFree[4]:
+		// The second FP/Mul pipe shares port 0 with ALU work, so
+		// FP-heavy traces don't serialize on a single port.
+		port = 0
+	}
+	issue := ready
+	if c.portFree[port] > issue {
+		issue = c.portFree[port]
+	}
+	c.portFree[port] = issue + 1
+
+	// Adders serve integer ALU work and address generation (§4.1:
+	// "there is an adder in each integer and address generation port").
+	if u.Class == trace.ClassALU || u.Class.IsMem() {
+		adder := c.pickAdder(issue)
+		if c.adderFree[adder] > issue {
+			issue = c.adderFree[adder]
+		}
+		c.adderFree[adder] = issue + 1
+		c.adderBusy[adder]++
+	}
+
+	// Execution latency, including the memory hierarchy.
+	latency := uint64(u.Class.Latency())
+	if u.Class.IsMem() {
+		if !c.dtlb.Access(u.Addr, issue) {
+			latency += uint64(c.cfg.TLBPenalty)
+		}
+		if !c.dl0.Access(u.Addr, issue) {
+			latency += uint64(c.cfg.L2Latency)
+		}
+	}
+	complete := issue + latency
+
+	// A mispredicted branch starves the front end until it resolves and
+	// the pipeline refills; this is what periodically drains the window
+	// (without it the scheduler would sit at 100% occupancy forever).
+	if u.Class == trace.ClassBranch && u.Mispredict {
+		c.frontStallUntil = complete + uint64(c.cfg.RedirectPenalty)
+	}
+
+	// Scheduler entry lifecycle: data-capture fields die at issue, the
+	// entry itself deallocates two cycles after writeback (replay-safe
+	// deallocation), which is what keeps occupancy near the paper's
+	// 63% under dependence and miss pressure.
+	// Operands count as captured when they arrive within the two-cycle
+	// scheduling loop; later ones come over the bypass network.
+	d := sched.FromUop(u, dstPhys, src1Phys, src2Phys, src1Ready <= dispatch+2, src2Ready <= dispatch+2)
+	d.Port = port
+	slot, ok := c.sch.Dispatch(d, dispatch)
+	if !ok {
+		panic("pipeline: scheduler slot vanished")
+	}
+	c.w.at(issue, func(cyc uint64) {
+		c.sch.MarkReady(slot, true, true, cyc)
+		c.sch.Issue(slot, cyc)
+	})
+	// Memory uops hand over to the MOB once their address generation
+	// issues; other uops hold their entry until writeback for replay.
+	releaseAt := complete + 1
+	if u.Class.IsMem() {
+		releaseAt = issue + 1
+	}
+	c.w.at(releaseAt, func(cyc uint64) { c.sch.Release(slot, cyc) })
+
+	// Destination write-back and scoreboard.
+	if dstPhys >= 0 {
+		val, ext := u.DstVal, uint64(u.DstExt)
+		if u.Class.IsFP() {
+			c.fready[dstPhys] = complete
+			c.w.at(complete, func(cyc uint64) { c.fpRF.Write(dstPhys, val, ext, cyc) })
+		} else {
+			c.ready[dstPhys] = complete
+			c.w.at(complete, func(cyc uint64) { c.intRF.Write(dstPhys, val, 0, cyc) })
+		}
+	}
+
+	// In-order retirement frees the ROB slot and the previous physical
+	// register of the destination's architectural register.
+	retire := complete
+	if retire < c.lastRetire {
+		retire = c.lastRetire
+	}
+	if retire == c.retiredAt && c.retiredThis >= c.cfg.RetireWidth {
+		retire++
+	}
+	if retire != c.retiredAt {
+		c.retiredAt = retire
+		c.retiredThis = 0
+	}
+	c.retiredThis++
+	c.lastRetire = retire
+	isFP := u.Class.IsFP()
+	c.w.at(retire, func(cyc uint64) {
+		c.robCount--
+		if prevPhys >= 0 {
+			if isFP {
+				delete(c.fready, prevPhys)
+				c.fpRF.Release(prevPhys, cyc)
+			} else {
+				delete(c.ready, prevPhys)
+				c.intRF.Release(prevPhys, cyc)
+			}
+		}
+	})
+}
+
+// destAvailable reports whether the uop's destination register file has a
+// free entry.
+func (c *core) destAvailable(u *trace.Uop) bool {
+	if u.Dst < 0 {
+		return true
+	}
+	if u.Class.IsFP() {
+		return c.fpRF.FreeCount() > 0
+	}
+	return c.intRF.FreeCount() > 0
+}
+
+// lookupSrc renames a source register, returning its physical tag and
+// ready cycle.
+func (c *core) lookupSrc(u *trace.Uop, src int) (phys int, readyAt uint64) {
+	if src < 0 {
+		return -1, 0
+	}
+	if u.Class.IsFP() {
+		phys = c.fpRAT[src%trace.NumFPRegs]
+		return phys, c.fready[phys]
+	}
+	phys = c.intRAT[src%trace.NumIntRegs]
+	return phys, c.ready[phys]
+}
+
+// pickAdder chooses an adder per the configured policy.
+func (c *core) pickAdder(issue uint64) int {
+	switch c.cfg.AdderPolicy {
+	case AdderPriority:
+		for i, free := range c.adderFree {
+			if free <= issue {
+				return i
+			}
+		}
+		// All busy: the earliest-free one.
+		best, bestFree := 0, c.adderFree[0]
+		for i, free := range c.adderFree {
+			if free < bestFree {
+				best, bestFree = i, free
+			}
+		}
+		return best
+	default: // uniform round-robin
+		a := c.adderRR
+		c.adderRR = (c.adderRR + 1) % len(c.adderFree)
+		return a
+	}
+}

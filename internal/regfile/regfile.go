@@ -1,0 +1,339 @@
+// Package regfile models a physical register file with the NBTI-aware
+// invert-at-release mechanism of paper §4.4 (Figure 7).
+//
+// The register file is an explicitly managed block whose entries are free
+// most of the time (54% for the integer file, 69% for FP). The ISV
+// technique keeps a per-file RINV register holding the inversion of a
+// periodically sampled write-port value; when a register is released and
+// a write port is free, RINV is written into it, so over time cells hold
+// inverted and non-inverted data in near-equal shares and per-bit bias
+// approaches 50% (Figure 6).
+//
+// Registers wider than 64 bits (the 80-bit FP registers) are modelled as
+// a 64-bit low bank plus a 16-bit extension bank, each with its own bias
+// tracker and RINV slice.
+package regfile
+
+import (
+	"fmt"
+
+	"penelope/internal/mitigation"
+	"penelope/internal/stats"
+)
+
+// Config describes a register file.
+type Config struct {
+	Name    string
+	Entries int
+	// Bits is the register width: 32 for the integer file, 80 for FP.
+	// Widths above 64 split into a 64-bit bank plus an extension bank.
+	Bits int
+	// WritePorts bounds how many writes (including repair writes) can
+	// retire per cycle.
+	WritePorts int
+	// RINVPeriod is the sampling period of the repair register in
+	// cycles (§3.2: "we can update RINV ... every one million cycles";
+	// the register file samples far more often since its values churn).
+	RINVPeriod uint64
+	// EnableISV turns the mechanism on; off gives the baseline.
+	EnableISV bool
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("regfile %q: entries must be positive", c.Name)
+	case c.Bits <= 0 || c.Bits > 128:
+		return fmt.Errorf("regfile %q: bits must be in (0,128]", c.Name)
+	case c.WritePorts <= 0:
+		return fmt.Errorf("regfile %q: need at least one write port", c.Name)
+	default:
+		return nil
+	}
+}
+
+type entry struct {
+	busy       bool
+	value      uint64
+	ext        uint64 // bits above 64
+	lastTouch  uint64 // cycle of last value change / state change
+	invContent bool   // holds RINV repair contents (only while free)
+}
+
+// File is a physical register file.
+type File struct {
+	cfg     Config
+	loBits  int // tracked in the low bank (≤ 64)
+	extBits int // tracked in the extension bank
+
+	entries []entry
+	// freeList is a FIFO: hardware free lists are circular queues, so
+	// registers rotate through allocation instead of a stack bottom
+	// stagnating with one value for the whole run (which would defeat
+	// the balancing).
+	freeList []int
+	freeHead int
+
+	rinvLo  *mitigation.RINV
+	rinvExt *mitigation.RINV
+
+	biasLo  *stats.BitBias
+	biasExt *stats.BitBias
+	occ     *stats.Occupancy
+	ports   *stats.Utilization
+
+	busyCount    int
+	lastOccCycle uint64
+	portCycle    uint64
+	portUsed     int
+
+	// ISV timestamp rule (§3.2.2): inverted contents may only be
+	// written while cumulative inverted-cell time lags half the total
+	// cell time, so cells hold inverted data exactly 50% of the time
+	// regardless of how long entries stay free.
+	invertedCells int
+	invertedTime  uint64
+	totalCellTime uint64
+
+	// Counters the paper reports.
+	releases        uint64
+	repairWrites    uint64
+	repairDiscarded uint64
+}
+
+// New builds a register file. All entries start free holding zeros (the
+// cold-start state §4.4 blames for the slightly worse FP balance).
+func New(cfg Config) *File {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lo, ext := cfg.Bits, 0
+	if lo > 64 {
+		ext = lo - 64
+		lo = 64
+	}
+	f := &File{
+		cfg:     cfg,
+		loBits:  lo,
+		extBits: ext,
+		entries: make([]entry, cfg.Entries),
+		biasLo:  stats.NewBitBias(lo),
+		occ:     stats.NewOccupancy(cfg.Entries),
+		ports:   stats.NewUtilization(cfg.WritePorts),
+		rinvLo:  mitigation.NewRINV(lo, cfg.RINVPeriod),
+	}
+	if ext > 0 {
+		f.biasExt = stats.NewBitBias(ext)
+		f.rinvExt = mitigation.NewRINV(ext, cfg.RINVPeriod)
+	}
+	for i := 0; i < cfg.Entries; i++ {
+		f.freeList = append(f.freeList, i)
+	}
+	return f
+}
+
+// Config returns the file's configuration.
+func (f *File) Config() Config { return f.cfg }
+
+// FreeCount returns how many registers are currently free.
+func (f *File) FreeCount() int { return len(f.freeList) - f.freeHead }
+
+// accountOccupancy integrates occupancy up to the given cycle.
+func (f *File) accountOccupancy(cycle uint64) {
+	if cycle > f.lastOccCycle {
+		dt := cycle - f.lastOccCycle
+		f.occ.Observe(f.busyCount, dt)
+		f.ports.Tick(dt)
+		f.invertedTime += uint64(f.invertedCells) * dt
+		f.totalCellTime += uint64(f.cfg.Entries) * dt
+		f.lastOccCycle = cycle
+	}
+}
+
+// refreshPorts resets the per-cycle write-port budget.
+func (f *File) refreshPorts(cycle uint64) {
+	if cycle != f.portCycle {
+		f.portCycle = cycle
+		f.portUsed = 0
+	}
+}
+
+// takePortDemand consumes a port for a demand write. Demand writes have
+// priority and always proceed; the budget merely records how many ports
+// the cycle has left for repair writes.
+func (f *File) takePortDemand(cycle uint64) {
+	f.refreshPorts(cycle)
+	if f.portUsed < f.cfg.WritePorts {
+		f.ports.Use(f.portUsed, 1)
+	}
+	f.portUsed++
+}
+
+// takePortRepair claims a leftover port for a repair write, returning
+// false when the cycle's ports are exhausted ("Any update that cannot be
+// done when the register is released because of lack of idle ports is
+// discarded", §4.4).
+func (f *File) takePortRepair(cycle uint64) bool {
+	f.refreshPorts(cycle)
+	if f.portUsed >= f.cfg.WritePorts {
+		f.ports.Deny()
+		return false
+	}
+	f.ports.Use(f.portUsed, 1)
+	f.portUsed++
+	return true
+}
+
+// flushEntry accumulates the bias interval of entry i up to cycle.
+func (f *File) flushEntry(i int, cycle uint64) {
+	e := &f.entries[i]
+	if cycle <= e.lastTouch {
+		return
+	}
+	dt := cycle - e.lastTouch
+	if e.busy {
+		f.biasLo.Observe(e.value, dt)
+		if f.biasExt != nil {
+			f.biasExt.Observe(e.ext, dt)
+		}
+	} else {
+		f.biasLo.ObserveFree(e.value, dt)
+		if f.biasExt != nil {
+			f.biasExt.ObserveFree(e.ext, dt)
+		}
+	}
+	e.lastTouch = cycle
+}
+
+// Allocate claims a free register at the given cycle. ok is false when
+// the file is full.
+func (f *File) Allocate(cycle uint64) (reg int, ok bool) {
+	f.accountOccupancy(cycle)
+	if f.FreeCount() == 0 {
+		return -1, false
+	}
+	reg = f.freeList[f.freeHead]
+	f.freeHead++
+	if f.freeHead > f.cfg.Entries {
+		copy(f.freeList, f.freeList[f.freeHead:])
+		f.freeList = f.freeList[:len(f.freeList)-f.freeHead]
+		f.freeHead = 0
+	}
+	f.flushEntry(reg, cycle)
+	f.entries[reg].busy = true
+	f.busyCount++
+	return reg, true
+}
+
+// Write stores a value into a busy register through a write port. The
+// value also feeds the RINV sampler ("RINV is updated periodically with
+// the value flowing through a given write port").
+func (f *File) Write(reg int, value, ext uint64, cycle uint64) {
+	f.accountOccupancy(cycle)
+	e := &f.entries[reg]
+	if !e.busy {
+		panic(fmt.Sprintf("regfile %s: write to free register %d", f.cfg.Name, reg))
+	}
+	f.takePortDemand(cycle)
+	f.flushEntry(reg, cycle)
+	if e.invContent {
+		e.invContent = false
+		f.invertedCells--
+	}
+	e.value = f.maskLo(value)
+	e.ext = f.maskExt(ext)
+	f.rinvLo.Offer(e.value, cycle)
+	if f.rinvExt != nil {
+		f.rinvExt.Offer(e.ext, cycle)
+	}
+}
+
+// Release frees a register. With ISV enabled and a write port free, the
+// RINV repair value is written into the cell; otherwise the update is
+// discarded, which §4.4 measures to be rare (ports are free 92%/86% of
+// the time) and harmless.
+func (f *File) Release(reg int, cycle uint64) {
+	f.accountOccupancy(cycle)
+	e := &f.entries[reg]
+	if !e.busy {
+		panic(fmt.Sprintf("regfile %s: double release of register %d", f.cfg.Name, reg))
+	}
+	f.flushEntry(reg, cycle)
+	e.busy = false
+	f.busyCount--
+	f.releases++
+	if f.cfg.EnableISV && f.invertedTime*2 <= f.totalCellTime {
+		if f.takePortRepair(cycle) {
+			e.value = f.rinvLo.Value()
+			if f.rinvExt != nil {
+				e.ext = f.rinvExt.Value()
+			}
+			e.invContent = true
+			f.invertedCells++
+			f.repairWrites++
+		} else {
+			f.repairDiscarded++
+		}
+	}
+	f.freeList = append(f.freeList, reg)
+}
+
+// Finish closes all accounting at the given end cycle. Call once before
+// reading Report.
+func (f *File) Finish(cycle uint64) {
+	f.accountOccupancy(cycle)
+	for i := range f.entries {
+		f.flushEntry(i, cycle)
+	}
+}
+
+func (f *File) maskLo(v uint64) uint64 {
+	if f.loBits == 64 {
+		return v
+	}
+	return v & (1<<uint(f.loBits) - 1)
+}
+
+func (f *File) maskExt(v uint64) uint64 {
+	if f.extBits == 0 {
+		return 0
+	}
+	return v & (1<<uint(f.extBits) - 1)
+}
+
+// Report summarizes the NBTI-relevant statistics of a run.
+type Report struct {
+	Name             string
+	Bits             int
+	FreeFraction     float64   // fraction of time entries are free
+	PortAvailability float64   // fraction of repair writes finding a port
+	Biases           []float64 // per-bit zero bias over total time
+	WorstBias        float64   // worst cell bias (max of bias, 1-bias)
+	RepairWrites     uint64
+	RepairDiscarded  uint64
+	Releases         uint64
+}
+
+// Report computes the run summary. Finish must have been called.
+func (f *File) Report() Report {
+	r := Report{
+		Name:             f.cfg.Name,
+		Bits:             f.cfg.Bits,
+		FreeFraction:     f.occ.FreeFraction(),
+		PortAvailability: f.ports.Availability(),
+		RepairWrites:     f.repairWrites,
+		RepairDiscarded:  f.repairDiscarded,
+		Releases:         f.releases,
+	}
+	r.Biases = append(r.Biases, f.biasLo.Biases()...)
+	worst := f.biasLo.WorstCellBias()
+	if f.biasExt != nil {
+		r.Biases = append(r.Biases, f.biasExt.Biases()...)
+		if w := f.biasExt.WorstCellBias(); w > worst {
+			worst = w
+		}
+	}
+	r.WorstBias = worst
+	return r
+}

@@ -1,0 +1,186 @@
+// Package sched models the out-of-order scheduler (reservation stations)
+// of paper §4.5 with the field layout of Table 2, and applies the
+// per-field NBTI techniques chosen by the Figure 3 casuistic: ALL1 for
+// near-constant control bits, ALL1-K%/ALL0-K% for moderately biased
+// bits, ISV for the wide data fields, nothing for self-balanced tags and
+// the unprotectable valid bit.
+package sched
+
+import "fmt"
+
+// FieldID identifies a scheduler field (Table 2).
+type FieldID int
+
+// The fields of Table 2, in layout order.
+const (
+	FieldValid FieldID = iota
+	FieldLatency
+	FieldPort
+	FieldTaken
+	FieldMOBid
+	FieldTOS
+	FieldFlags
+	FieldShift1
+	FieldShift2
+	FieldDSTTag
+	FieldSRC1Tag
+	FieldSRC2Tag
+	FieldReady1
+	FieldReady2
+	FieldSRC1Data
+	FieldSRC2Data
+	FieldImm
+	FieldOpcode
+	NumFields
+)
+
+// FieldSpec describes one scheduler field.
+type FieldSpec struct {
+	ID          FieldID
+	Name        string
+	Bits        int
+	Description string
+	// DataField marks fields that are released at issue time rather
+	// than at entry deallocation (SRC data and immediate: "available
+	// 70-75% of the time on average because they remain unused beyond
+	// the allocation", §4.5).
+	DataField bool
+	// Plot reports whether the field appears in Figure 8 (opcode is
+	// excluded: "Opcode bits are not shown").
+	Plot bool
+}
+
+var fieldSpecs = [NumFields]FieldSpec{
+	{FieldValid, "valid", 1, "Slot is valid", false, true},
+	{FieldLatency, "latency", 5, "Latency of the uop", false, true},
+	{FieldPort, "port", 5, "Port for issue (loads and stores are not in the scheduler)", false, true},
+	{FieldTaken, "taken", 1, "The branch is taken", false, true},
+	{FieldMOBid, "MOB id", 6, "Memory Order Buffer identifier", false, true},
+	{FieldTOS, "tos", 3, "Top of stack position for FPs", false, true},
+	{FieldFlags, "flags", 6, "Flags for the uop", false, true},
+	{FieldShift1, "shift1", 1, "Source 1 must be shifted (AH, BH, CH and DH)", false, true},
+	{FieldShift2, "shift2", 1, "Source 2 must be shifted (AH, BH, CH and DH)", false, true},
+	{FieldDSTTag, "DST tag", 7, "Destination register", false, true},
+	{FieldSRC1Tag, "SRC1 tag", 7, "Source 1 register", false, true},
+	{FieldSRC2Tag, "SRC2 tag", 7, "Source 2 register", false, true},
+	{FieldReady1, "ready1", 1, "Source 1 is ready for issue", false, true},
+	{FieldReady2, "ready2", 1, "Source 2 is ready for issue", false, true},
+	{FieldSRC1Data, "SRC1 data", 32, "Source 1 data for data capture schedulers", true, true},
+	{FieldSRC2Data, "SRC2 data", 32, "Source 2 data for data capture schedulers", true, true},
+	{FieldImm, "immediate", 16, "Immediate data field", true, true},
+	{FieldOpcode, "opcode", 12, "Opcode for the uop. Not shown in Figure 8", false, false},
+}
+
+// Specs returns the Table 2 field layout. The slice is shared; callers
+// must not modify it.
+func Specs() []FieldSpec { return fieldSpecs[:] }
+
+// Spec returns the descriptor of one field.
+func Spec(id FieldID) FieldSpec {
+	if id < 0 || id >= NumFields {
+		panic(fmt.Sprintf("sched: unknown field %d", id))
+	}
+	return fieldSpecs[id]
+}
+
+// TotalBits returns the bits per scheduler entry (sum of Table 2).
+func TotalBits() int {
+	n := 0
+	for _, f := range fieldSpecs {
+		n += f.Bits
+	}
+	return n
+}
+
+// String returns the field name.
+func (id FieldID) String() string {
+	if id < 0 || id >= NumFields {
+		return fmt.Sprintf("field(%d)", int(id))
+	}
+	return fieldSpecs[id].Name
+}
+
+// Dispatch carries the raw field values of a uop entering the scheduler.
+// The pipeline fills it from a trace uop plus rename state.
+type Dispatch struct {
+	Latency  int
+	Port     int // issue port index, stored one-hot in the port field
+	Taken    bool
+	MOBid    int
+	TOS      int
+	Flags    uint8
+	Shift1   bool
+	Shift2   bool
+	DstTag   int
+	Src1Tag  int
+	Src2Tag  int
+	Ready1   bool
+	Ready2   bool
+	Src1Data uint64
+	Src2Data uint64
+	Imm      uint64
+	HasImm   bool
+	HasDst   bool
+	HasSrc1  bool
+	HasSrc2  bool
+	MemUop   bool
+	Opcode   uint16
+}
+
+// fieldValue extracts the stored bit pattern for a field from a dispatch.
+func fieldValue(d *Dispatch, id FieldID) uint64 {
+	switch id {
+	case FieldValid:
+		return 1
+	case FieldLatency:
+		return uint64(d.Latency) & 0x1F
+	case FieldPort:
+		return 1 << uint(d.Port) & 0x1F
+	case FieldTaken:
+		return b2u(d.Taken)
+	case FieldMOBid:
+		return uint64(d.MOBid) & 0x3F
+	case FieldTOS:
+		return uint64(d.TOS) & 0x7
+	case FieldFlags:
+		return uint64(d.Flags) & 0x3F
+	case FieldShift1:
+		return b2u(d.Shift1)
+	case FieldShift2:
+		return b2u(d.Shift2)
+	case FieldDSTTag:
+		return uint64(clampTag(d.DstTag))
+	case FieldSRC1Tag:
+		return uint64(clampTag(d.Src1Tag))
+	case FieldSRC2Tag:
+		return uint64(clampTag(d.Src2Tag))
+	case FieldReady1:
+		return b2u(d.Ready1)
+	case FieldReady2:
+		return b2u(d.Ready2)
+	case FieldSRC1Data:
+		return d.Src1Data & 0xFFFFFFFF
+	case FieldSRC2Data:
+		return d.Src2Data & 0xFFFFFFFF
+	case FieldImm:
+		return d.Imm & 0xFFFF
+	case FieldOpcode:
+		return uint64(d.Opcode) & 0xFFF
+	default:
+		panic("sched: unknown field")
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clampTag(t int) int {
+	if t < 0 {
+		return 0
+	}
+	return t & 0x7F
+}

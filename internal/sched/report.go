@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"penelope/internal/mitigation"
+)
+
+// FieldReport is the measured state of one scheduler field.
+type FieldReport struct {
+	ID        FieldID
+	Name      string
+	Bits      int
+	Occupancy float64   // fraction of time the field's cells hold live data
+	Biases    []float64 // per-bit zero bias over total time
+	BusyBias  []float64 // per-bit zero bias over busy time (for profiling)
+	WorstBias float64   // worst cell bias across the field's bits
+	Technique mitigation.Technique
+}
+
+// Report is a full scheduler measurement.
+type Report struct {
+	Fields           []FieldReport
+	EntryOccupancy   float64
+	DataOccupancy    float64
+	PortAvailability float64
+	Dispatches       uint64
+	RepairWrites     uint64
+	RepairDiscarded  uint64
+}
+
+// WorstBias returns the worst cell bias across plottable fields (Figure
+// 8 excludes the opcode).
+func (r Report) WorstBias() float64 {
+	worst := 0.5
+	for _, f := range r.Fields {
+		if !Spec(f.ID).Plot {
+			continue
+		}
+		if f.WorstBias > worst {
+			worst = f.WorstBias
+		}
+	}
+	return worst
+}
+
+// BitSeries flattens the plottable fields' per-bit biases in Table 2
+// order — the Figure 8 x-axis.
+func (r Report) BitSeries() []float64 {
+	var out []float64
+	for _, f := range r.Fields {
+		if !Spec(f.ID).Plot {
+			continue
+		}
+		out = append(out, f.Biases...)
+	}
+	return out
+}
+
+// String renders a per-field summary table.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %5s %10s %10s %-14s\n", "field", "bits", "occupancy", "worstbias", "technique")
+	for _, f := range r.Fields {
+		fmt.Fprintf(&sb, "%-12s %5d %9.1f%% %9.1f%% %-14s\n",
+			f.Name, f.Bits, f.Occupancy*100, f.WorstBias*100, f.Technique)
+	}
+	fmt.Fprintf(&sb, "entry occupancy %.1f%%, data occupancy %.1f%%, ports available %.1f%%\n",
+		r.EntryOccupancy*100, r.DataOccupancy*100, r.PortAvailability*100)
+	return sb.String()
+}
+
+// Report computes the measurement summary. Finish must have been called.
+// plan may be nil (baseline); when set, each field is annotated with its
+// dominant technique.
+func (s *Scheduler) Report() Report {
+	r := Report{
+		EntryOccupancy:   s.occ.Average(),
+		DataOccupancy:    s.dataOcc.Average(),
+		PortAvailability: s.portStats.Availability(),
+		Dispatches:       s.dispatches,
+		RepairWrites:     s.repairWrites,
+		RepairDiscarded:  s.repairDiscarded,
+	}
+	for f := FieldID(0); f < NumFields; f++ {
+		spec := fieldSpecs[f]
+		fr := FieldReport{ID: f, Name: spec.Name, Bits: spec.Bits}
+		b := s.bias[f]
+		// Per-field occupancy comes from the tracker itself: data-
+		// capture fields and the MOB id are live less often than the
+		// entry (§4.5: "some fields ... are available 70-75% of the
+		// time").
+		if total := b.TotalTime(); total > 0 {
+			fr.Occupancy = float64(b.BusyTime()) / float64(total)
+		}
+		fr.Biases = b.Biases()
+		fr.BusyBias = make([]float64, spec.Bits)
+		for i := 0; i < spec.Bits; i++ {
+			fr.BusyBias[i] = b.BusyZeroBias(i)
+		}
+		fr.WorstBias = b.WorstCellBias()
+		if s.cfg.Plan != nil {
+			fr.Technique = s.cfg.Plan.Technique(f)
+		}
+		r.Fields = append(r.Fields, fr)
+	}
+	return r
+}
+
+// BuildPlan classifies every bit of every field from a baseline
+// measurement, per the Figure 3 casuistic (§4.5: profiling on a subset of
+// traces chooses the techniques and K values used everywhere else).
+//
+// The valid bit is forced to "uncovered": its contents are always live.
+func BuildPlan(baseline Report) *Plan {
+	p := &Plan{}
+	for _, fr := range baseline.Fields {
+		plans := make([]mitigation.BitPlan, fr.Bits)
+		for bit := 0; bit < fr.Bits; bit++ {
+			if fr.ID == FieldValid {
+				plans[bit] = mitigation.BitPlan{Technique: mitigation.TechUncovered}
+				continue
+			}
+			plans[bit] = mitigation.ClassifyBit(fr.Occupancy, fr.BusyBias[bit])
+		}
+		p.Fields[fr.ID] = plans
+	}
+	return p
+}

@@ -1,0 +1,449 @@
+package sched
+
+import (
+	"fmt"
+
+	"penelope/internal/mitigation"
+	"penelope/internal/stats"
+)
+
+// Config describes a scheduler instance.
+type Config struct {
+	// Entries is the number of reservation-station slots (32 in §4.5).
+	Entries int
+	// AllocPorts bounds dispatches — and therefore leftover repair
+	// writes — per cycle ("on average 77% of the ports from allocate
+	// are available").
+	AllocPorts int
+	// RINVPeriod is the resampling period of the ISV fields' RINV in
+	// cycles ("every some thousands or millions of cycles").
+	RINVPeriod uint64
+	// Plan, when non-nil, enables the NBTI techniques. A nil plan is
+	// the measured baseline.
+	Plan *Plan
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("sched: entries must be positive")
+	case c.AllocPorts <= 0:
+		return fmt.Errorf("sched: need at least one allocate port")
+	default:
+		return nil
+	}
+}
+
+// Plan assigns a repair technique to every bit of every field.
+type Plan struct {
+	Fields [NumFields][]mitigation.BitPlan
+}
+
+// Technique returns the dominant technique of a field (the technique of
+// the majority of its bits), for reporting.
+func (p *Plan) Technique(id FieldID) mitigation.Technique {
+	counts := map[mitigation.Technique]int{}
+	for _, bp := range p.Fields[id] {
+		counts[bp.Technique]++
+	}
+	best, bestN := mitigation.TechNone, 0
+	for tech, n := range counts {
+		if n > bestN {
+			best, bestN = tech, n
+		}
+	}
+	return best
+}
+
+type entry struct {
+	busy   bool
+	issued bool
+	values [NumFields]uint64
+	// live marks fields holding meaningful data: data-capture fields
+	// are live only when the operand was captured at dispatch and die
+	// at issue; the MOB id is live only for memory uops.
+	live [NumFields]bool
+	// invContent marks fields currently holding RINV-inverted repair
+	// contents (meaningful while free; cleared when real data arrives).
+	invContent [NumFields]bool
+}
+
+// isvClock implements the timestamp rule of §3.2.2: entries are written
+// with inverted contents only while cumulative inverted-cell time lags
+// half the total cell time, pinning inverted occupancy at 50%. Busy
+// entries hold real (non-inverted) data, so only free inverted cells
+// accumulate inverted time. This is the "track all entries" variant the
+// paper notes is statistically identical to sampling one fixed entry.
+type isvClock struct {
+	cells         int // pool size (entries, or 2·entries when shared)
+	invertedCells int // cells currently holding inverted contents
+	invertedTime  uint64
+	totalTime     uint64
+}
+
+func (c *isvClock) advance(dt uint64) {
+	c.invertedTime += uint64(c.invertedCells) * dt
+	c.totalTime += uint64(c.cells) * dt
+}
+
+// wantInvert reports whether the next release should write inverted
+// contents.
+func (c *isvClock) wantInvert() bool {
+	return c.invertedTime*2 <= c.totalTime
+}
+
+// Scheduler is the reservation-station model.
+type Scheduler struct {
+	cfg Config
+
+	entries []entry
+	// freeList is a FIFO so slots rotate through allocation; a LIFO
+	// would leave low slots stagnating with one value at moderate
+	// occupancy, defeating the balancing.
+	freeList []int
+	freeHead int
+
+	// Per-field aggregated bias trackers and last-touch bookkeeping per
+	// entry per field.
+	bias      [NumFields]*stats.BitBias
+	lastTouch [][NumFields]uint64
+
+	occ       *stats.Occupancy
+	dataOcc   *stats.Occupancy // occupancy of the SRC1 data field cells
+	busyCount int
+	dataCount int
+	lastCycle uint64
+
+	// Allocate-port budget per cycle.
+	portCycle uint64
+	portUsed  int
+	portStats *stats.Utilization
+
+	// ISV machinery: every field has its own RINV (§3.2.2: "independent
+	// RINV registers and strategies are used for each field"); SRC1 and
+	// SRC2 data share a timestamp clock, the rest have their own (§4.5:
+	// "2 timestamps of 10 bits each suffice" for the ISV fields).
+	rinv [NumFields]*mitigation.RINV
+	isv  [NumFields]*isvClock
+
+	// Duty counters per distinct K, lazily created.
+	duty map[int]*mitigation.DutyCounter
+
+	repairWrites    uint64
+	repairDiscarded uint64
+	dispatches      uint64
+}
+
+// New builds a scheduler.
+func New(cfg Config) *Scheduler {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Scheduler{
+		cfg:       cfg,
+		entries:   make([]entry, cfg.Entries),
+		lastTouch: make([][NumFields]uint64, cfg.Entries),
+		occ:       stats.NewOccupancy(cfg.Entries),
+		dataOcc:   stats.NewOccupancy(cfg.Entries),
+		portStats: stats.NewUtilization(cfg.AllocPorts),
+		duty:      map[int]*mitigation.DutyCounter{},
+	}
+	for f := FieldID(0); f < NumFields; f++ {
+		s.bias[f] = stats.NewBitBias(fieldSpecs[f].Bits)
+		s.rinv[f] = mitigation.NewRINV(fieldSpecs[f].Bits, cfg.RINVPeriod)
+	}
+	// SRC1/SRC2 data share one clock; every other field has its own.
+	shared := &isvClock{cells: 2 * cfg.Entries}
+	s.isv[FieldSRC1Data] = shared
+	s.isv[FieldSRC2Data] = shared
+	for f := FieldID(0); f < NumFields; f++ {
+		if s.isv[f] == nil {
+			s.isv[f] = &isvClock{cells: cfg.Entries}
+		}
+	}
+	for i := 0; i < cfg.Entries; i++ {
+		s.freeList = append(s.freeList, i)
+	}
+	return s
+}
+
+// Config returns the scheduler configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// FreeSlots returns the number of available entries.
+func (s *Scheduler) FreeSlots() int { return len(s.freeList) - s.freeHead }
+
+func (s *Scheduler) advance(cycle uint64) {
+	if cycle > s.lastCycle {
+		dt := cycle - s.lastCycle
+		s.occ.Observe(s.busyCount, dt)
+		s.dataOcc.Observe(s.dataCount, dt)
+		s.portStats.Tick(dt)
+		seen := map[*isvClock]bool{}
+		for f := FieldID(0); f < NumFields; f++ {
+			if c := s.isv[f]; !seen[c] {
+				seen[c] = true
+				c.advance(dt)
+			}
+		}
+		s.lastCycle = cycle
+	}
+}
+
+func (s *Scheduler) refreshPorts(cycle uint64) {
+	if cycle != s.portCycle {
+		s.portCycle = cycle
+		s.portUsed = 0
+	}
+}
+
+// takePort consumes one allocate port this cycle; repair is true for
+// leftover-port repair writes, which may be denied.
+func (s *Scheduler) takePort(cycle uint64, repair bool) bool {
+	s.refreshPorts(cycle)
+	if s.portUsed >= s.cfg.AllocPorts {
+		if repair {
+			s.portStats.Deny()
+			return false
+		}
+		s.portUsed++
+		return true
+	}
+	s.portStats.Use(s.portUsed, 1)
+	s.portUsed++
+	return true
+}
+
+// flushField accumulates the bias interval of (slot, field) up to cycle.
+func (s *Scheduler) flushField(slot int, f FieldID, cycle uint64) {
+	last := s.lastTouch[slot][f]
+	if cycle <= last {
+		return
+	}
+	dt := cycle - last
+	e := &s.entries[slot]
+	if e.busy && e.live[f] {
+		s.bias[f].Observe(e.values[f], dt)
+	} else {
+		s.bias[f].ObserveFree(e.values[f], dt)
+	}
+	s.lastTouch[slot][f] = cycle
+}
+
+func (s *Scheduler) flushAll(slot int, cycle uint64) {
+	for f := FieldID(0); f < NumFields; f++ {
+		s.flushField(slot, f, cycle)
+	}
+}
+
+// dataFields are the data-capture fields released at issue (§4.5).
+var dataFields = [...]FieldID{FieldSRC1Data, FieldSRC2Data, FieldImm}
+
+// Dispatch fills a free slot with a uop's fields, consuming one allocate
+// port. ok is false when the scheduler is full.
+func (s *Scheduler) Dispatch(d Dispatch, cycle uint64) (slot int, ok bool) {
+	s.advance(cycle)
+	if s.FreeSlots() == 0 {
+		return -1, false
+	}
+	s.takePort(cycle, false)
+	slot = s.freeList[s.freeHead]
+	s.freeHead++
+	if s.freeHead > s.cfg.Entries {
+		copy(s.freeList, s.freeList[s.freeHead:])
+		s.freeList = s.freeList[:len(s.freeList)-s.freeHead]
+		s.freeHead = 0
+	}
+	s.flushAll(slot, cycle)
+	e := &s.entries[slot]
+	e.busy = true
+	e.issued = false
+	for f := FieldID(0); f < NumFields; f++ {
+		// Conditional fields are only written when the uop actually
+		// uses them: uncaptured operands arrive over the bypass, uops
+		// without an immediate or a MOB slot leave those cells alone —
+		// including any repair contents they hold ("they remain unused
+		// beyond the allocation or are not used at all", §4.5).
+		live := true
+		switch f {
+		case FieldSRC1Data:
+			live = d.Ready1 && d.HasSrc1
+		case FieldSRC2Data:
+			live = d.Ready2 && d.HasSrc2 && !d.HasImm
+		case FieldImm:
+			live = d.HasImm
+		case FieldMOBid:
+			live = d.MemUop
+		case FieldDSTTag:
+			live = d.HasDst
+		case FieldSRC1Tag:
+			live = d.HasSrc1
+		case FieldSRC2Tag:
+			live = d.HasSrc2
+		}
+		e.live[f] = live
+		if !live {
+			continue
+		}
+		if e.invContent[f] {
+			// Real data overwrites repair contents.
+			e.invContent[f] = false
+			s.isv[f].invertedCells--
+		}
+		e.values[f] = fieldValue(&d, f)
+		// Sample write-port data into the RINVs (§4.5: "Sampled values
+		// ... can be taken from the register file when read or from
+		// bypasses ... immediate values are taken directly from the
+		// instruction").
+		s.rinv[f].Offer(e.values[f], cycle)
+	}
+	if e.live[FieldSRC1Data] {
+		s.dataCount++
+	}
+	s.busyCount++
+	s.dispatches++
+	return slot, true
+}
+
+// MarkReady sets the ready bits when operands arrive.
+func (s *Scheduler) MarkReady(slot int, src1, src2 bool, cycle uint64) {
+	e := &s.entries[slot]
+	if !e.busy {
+		panic("sched: MarkReady on free slot")
+	}
+	if src1 {
+		s.flushField(slot, FieldReady1, cycle)
+		e.values[FieldReady1] = 1
+	}
+	if src2 {
+		s.flushField(slot, FieldReady2, cycle)
+		e.values[FieldReady2] = 1
+	}
+}
+
+// Issue releases the data-capture fields of a slot: the uop has left for
+// execution, so SRC data and the immediate are dead from here on and can
+// take repair values through one leftover allocate port.
+func (s *Scheduler) Issue(slot int, cycle uint64) {
+	s.advance(cycle)
+	e := &s.entries[slot]
+	if !e.busy || e.issued {
+		panic("sched: bad Issue")
+	}
+	e.issued = true
+	if e.live[FieldSRC1Data] {
+		s.dataCount--
+	}
+	for _, f := range dataFields {
+		s.flushField(slot, f, cycle)
+		e.live[f] = false
+	}
+	if s.cfg.Plan == nil {
+		return
+	}
+	if !s.takePort(cycle, true) {
+		s.repairDiscarded++
+		return
+	}
+	for _, f := range dataFields {
+		s.repairField(slot, f)
+	}
+	s.repairWrites++
+}
+
+// Release frees the whole slot, applying the plan's repair values to the
+// remaining fields through one leftover allocate port.
+func (s *Scheduler) Release(slot int, cycle uint64) {
+	s.advance(cycle)
+	e := &s.entries[slot]
+	if !e.busy {
+		panic("sched: double release")
+	}
+	s.flushAll(slot, cycle)
+	e.busy = false
+	if !e.issued && e.live[FieldSRC1Data] {
+		s.dataCount--
+	}
+	s.busyCount--
+	// The valid bit physically drops to 0 the moment the slot frees;
+	// that is its unprotectable duty cycle.
+	e.values[FieldValid] = 0
+	if s.cfg.Plan != nil {
+		if s.takePort(cycle, true) {
+			for f := FieldID(0); f < NumFields; f++ {
+				if f == FieldValid || fieldSpecs[f].DataField {
+					continue // valid unprotectable; data fields repaired at issue
+				}
+				s.repairField(slot, f)
+			}
+			s.repairWrites++
+		} else {
+			s.repairDiscarded++
+		}
+	}
+	s.freeList = append(s.freeList, slot)
+}
+
+// repairField writes the plan's repair value into a freed field.
+func (s *Scheduler) repairField(slot int, f FieldID) {
+	plans := s.cfg.Plan.Fields[f]
+	if len(plans) == 0 {
+		return
+	}
+	e := &s.entries[slot]
+	clk := s.isv[f]
+	invert := clk.wantInvert()
+	var v uint64
+	wroteInverted := false
+	for bit, bp := range plans {
+		var level bool
+		switch bp.Technique {
+		case mitigation.TechALL1:
+			level = true
+		case mitigation.TechALL0:
+			level = false
+		case mitigation.TechALL1K:
+			level = s.dutyFor(bp.K).Tick()
+		case mitigation.TechALL0K:
+			level = !s.dutyFor(bp.K).Tick()
+		case mitigation.TechISV:
+			if invert {
+				level = s.rinv[f].Value()&(1<<uint(bit)) != 0
+				wroteInverted = true
+			} else {
+				level = e.values[f]&(1<<uint(bit)) != 0 // keep stale
+			}
+		default:
+			level = e.values[f]&(1<<uint(bit)) != 0 // self-balanced: stale
+		}
+		if level {
+			v |= 1 << uint(bit)
+		}
+	}
+	e.values[f] = v
+	if wroteInverted && !e.invContent[f] {
+		e.invContent[f] = true
+		clk.invertedCells++
+	}
+}
+
+// dutyFor returns the shared duty counter for a K value, quantized to a
+// 20-cycle period (the paper's "4 small counters of up to 5 bits each").
+func (s *Scheduler) dutyFor(k float64) *mitigation.DutyCounter {
+	key := int(k*20 + 0.5)
+	if c, ok := s.duty[key]; ok {
+		return c
+	}
+	c := mitigation.NewDutyCounter(20, float64(key)/20)
+	s.duty[key] = c
+	return c
+}
+
+// Finish closes all accounting at the end cycle.
+func (s *Scheduler) Finish(cycle uint64) {
+	s.advance(cycle)
+	for i := range s.entries {
+		s.flushAll(i, cycle)
+	}
+}

@@ -1,0 +1,36 @@
+package sched
+
+import "penelope/internal/trace"
+
+// FromUop builds the dispatch field values for a trace uop. The physical
+// register tags come from the pipeline's renamer, -1 when the uop has no
+// such operand (the tag cell is then left untouched, which is part of
+// why tags self-balance); ready1/ready2 say whether the source operands
+// were captured at dispatch (data-capture scheduler: only captured
+// operands occupy the SRC data cells).
+func FromUop(u *trace.Uop, dstTag, src1Tag, src2Tag int, ready1, ready2 bool) Dispatch {
+	return Dispatch{
+		HasDst:   dstTag >= 0,
+		HasSrc1:  src1Tag >= 0,
+		HasSrc2:  src2Tag >= 0,
+		Latency:  u.Class.Latency(),
+		Port:     u.Class.Port(),
+		Taken:    u.Taken,
+		MOBid:    u.MOBid,
+		TOS:      u.TOS,
+		Flags:    u.Flags,
+		Shift1:   u.Shift1,
+		Shift2:   u.Shift2,
+		DstTag:   dstTag,
+		Src1Tag:  src1Tag,
+		Src2Tag:  src2Tag,
+		Ready1:   ready1,
+		Ready2:   ready2,
+		Src1Data: u.SrcVal1,
+		Src2Data: u.SrcVal2,
+		Imm:      u.Imm,
+		HasImm:   u.HasImm,
+		MemUop:   u.Class.IsMem(),
+		Opcode:   u.Opcode,
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+// BitBias accumulates, per bit position, the time a stored value held a
+// logic "0" versus a logic "1". This is the quantity NBTI degradation
+// depends on: the zero-signal probability at the gate of the PMOS
+// transistor driven by that bit (paper §1.1, §2.1).
+//
+// Callers report intervals: Observe(value, dt) states that value was held
+// for dt cycles. ObserveFree(dt) states the tracked cell was unoccupied
+// for dt cycles; free time is accounted separately so callers can compute
+// bias over busy time only, or over total time with an assumed idle value.
+type BitBias struct {
+	bits      int
+	zeroBusy  []uint64 // cycles each bit held "0" while the entry was busy
+	busyTime  uint64   // total busy cycles observed
+	freeTime  uint64   // total free cycles observed
+	zeroFree  []uint64 // cycles each bit held "0" while the entry was free
+	intervals uint64   // number of Observe calls, for diagnostics
+}
+
+// NewBitBias returns a tracker for values of the given width in bits.
+// Width must be in [1, 64].
+func NewBitBias(bits int) *BitBias {
+	if bits < 1 || bits > 64 {
+		panic("stats: BitBias width must be in [1, 64]")
+	}
+	return &BitBias{
+		bits:     bits,
+		zeroBusy: make([]uint64, bits),
+		zeroFree: make([]uint64, bits),
+	}
+}
+
+// Bits returns the tracked width.
+func (b *BitBias) Bits() int { return b.bits }
+
+// Observe records that value was held for dt cycles while busy.
+func (b *BitBias) Observe(value uint64, dt uint64) {
+	if dt == 0 {
+		return
+	}
+	b.busyTime += dt
+	b.intervals++
+	for i := 0; i < b.bits; i++ {
+		if value&(1<<uint(i)) == 0 {
+			b.zeroBusy[i] += dt
+		}
+	}
+}
+
+// ObserveFree records that the cell held value for dt cycles while the
+// entry was logically free (released). The physical cell still stores
+// something — typically stale data or an NBTI-repair value — and its bits
+// degrade all the same, which is exactly what the ISV mechanism exploits.
+func (b *BitBias) ObserveFree(value uint64, dt uint64) {
+	if dt == 0 {
+		return
+	}
+	b.freeTime += dt
+	for i := 0; i < b.bits; i++ {
+		if value&(1<<uint(i)) == 0 {
+			b.zeroFree[i] += dt
+		}
+	}
+}
+
+// BusyTime returns the total busy cycles observed.
+func (b *BitBias) BusyTime() uint64 { return b.busyTime }
+
+// FreeTime returns the total free cycles observed.
+func (b *BitBias) FreeTime() uint64 { return b.freeTime }
+
+// TotalTime returns busy plus free cycles.
+func (b *BitBias) TotalTime() uint64 { return b.busyTime + b.freeTime }
+
+// ZeroBias returns, for bit i, the fraction of *total* observed time the
+// bit held "0" (busy and free intervals combined). Returns 0.5 when no
+// time has been observed, the neutral value for NBTI purposes.
+func (b *BitBias) ZeroBias(i int) float64 {
+	total := b.busyTime + b.freeTime
+	if total == 0 {
+		return 0.5
+	}
+	return float64(b.zeroBusy[i]+b.zeroFree[i]) / float64(total)
+}
+
+// BusyZeroBias returns the fraction of busy time bit i held "0", or 0.5
+// if no busy time was observed.
+func (b *BitBias) BusyZeroBias(i int) float64 {
+	if b.busyTime == 0 {
+		return 0.5
+	}
+	return float64(b.zeroBusy[i]) / float64(b.busyTime)
+}
+
+// Biases returns ZeroBias for every bit, index 0 = least significant.
+func (b *BitBias) Biases() []float64 {
+	out := make([]float64, b.bits)
+	for i := range out {
+		out[i] = b.ZeroBias(i)
+	}
+	return out
+}
+
+// WorstImbalance returns the maximum over bits of |bias-0.5|·2, i.e. how
+// far the worst bit is from perfect balance on a 0..1 scale, and the index
+// of that bit. A memory cell is stressed by max(bias, 1-bias), so the
+// imbalance is symmetric in zeros and ones.
+func (b *BitBias) WorstImbalance() (imbalance float64, bit int) {
+	for i := 0; i < b.bits; i++ {
+		d := b.ZeroBias(i) - 0.5
+		if d < 0 {
+			d = -d
+		}
+		if d*2 > imbalance {
+			imbalance = d * 2
+			bit = i
+		}
+	}
+	return imbalance, bit
+}
+
+// WorstCellBias returns the highest per-cell stress bias across bits:
+// max over bits of max(zeroBias, 1-zeroBias). This is the bias that sets
+// the guardband for the structure (paper §3.2: one of the two PMOS in the
+// cell is always under stress; the worse-balanced one fails first).
+func (b *BitBias) WorstCellBias() float64 {
+	worst := 0.5
+	for i := 0; i < b.bits; i++ {
+		z := b.ZeroBias(i)
+		cell := z
+		if 1-z > cell {
+			cell = 1 - z
+		}
+		if cell > worst {
+			worst = cell
+		}
+	}
+	return worst
+}
+
+// Merge adds the accumulated time of other into b. Both trackers must have
+// the same width.
+func (b *BitBias) Merge(other *BitBias) {
+	if other.bits != b.bits {
+		panic("stats: merging BitBias trackers of different widths")
+	}
+	b.busyTime += other.busyTime
+	b.freeTime += other.freeTime
+	b.intervals += other.intervals
+	for i := 0; i < b.bits; i++ {
+		b.zeroBusy[i] += other.zeroBusy[i]
+		b.zeroFree[i] += other.zeroFree[i]
+	}
+}
+
+// Reset clears all accumulated time.
+func (b *BitBias) Reset() {
+	b.busyTime, b.freeTime, b.intervals = 0, 0, 0
+	for i := range b.zeroBusy {
+		b.zeroBusy[i] = 0
+		b.zeroFree[i] = 0
+	}
+}

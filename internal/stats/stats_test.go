@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"pair", []float64{1, 3}, 2},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.xs); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty slice should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {-5, 1}, {105, 5},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile of empty slice should be 0")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if got := GeoMean([]float64{2, 0, 8}); !almostEqual(got, 4, 1e-9) {
+		t.Errorf("GeoMean skipping non-positive = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean of empty slice should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(0.074); got != "7.4%" {
+		t.Errorf("Ratio = %q, want 7.4%%", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "hits"}
+	c.Inc()
+	c.Add(3)
+	if c.Count != 4 {
+		t.Fatalf("Count = %d, want 4", c.Count)
+	}
+	if got := c.Fraction(8); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Fraction = %v, want 0.5", got)
+	}
+	if c.Fraction(0) != 0 {
+		t.Error("Fraction with zero total should be 0")
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	// Property: a percentile always lies within [Min, Max].
+	f := func(raw []int16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p := float64(pRaw) / 255 * 100
+		got := Percentile(xs, p)
+		return got >= Min(xs)-1e-9 && got <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationBasics(t *testing.T) {
+	u := NewUtilization(2)
+	u.Tick(100)
+	u.Use(0, 30)
+	u.Use(1, 10)
+	if got := u.UnitUtilization(0); !almostEqual(got, 0.30, 1e-12) {
+		t.Errorf("UnitUtilization(0) = %v, want 0.30", got)
+	}
+	if got := u.Average(); !almostEqual(got, 0.20, 1e-12) {
+		t.Errorf("Average = %v, want 0.20", got)
+	}
+	if f, i := u.MaxUnit(); i != 0 || !almostEqual(f, 0.30, 1e-12) {
+		t.Errorf("MaxUnit = %v,%d, want 0.30,0", f, i)
+	}
+	if f, i := u.MinUnit(); i != 1 || !almostEqual(f, 0.10, 1e-12) {
+		t.Errorf("MinUnit = %v,%d, want 0.10,1", f, i)
+	}
+	if u.Units() != 2 || u.Total() != 100 {
+		t.Error("Units/Total mismatch")
+	}
+}
+
+func TestUtilizationAvailability(t *testing.T) {
+	u := NewUtilization(1)
+	if got := u.Availability(); got != 1 {
+		t.Errorf("Availability with no requests = %v, want 1", got)
+	}
+	u.Tick(10)
+	u.Use(0, 1)
+	u.Use(0, 1)
+	u.Use(0, 1)
+	u.Deny()
+	if got := u.Availability(); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("Availability = %v, want 0.75", got)
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	u := NewUtilization(3)
+	if u.Average() != 0 || u.UnitUtilization(1) != 0 {
+		t.Error("utilization with no time should be 0")
+	}
+	if f, _ := u.MinUnit(); f != 0 {
+		t.Error("MinUnit with no time should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewUtilization(0) did not panic")
+		}
+	}()
+	NewUtilization(0)
+}
+
+func TestOccupancyBasics(t *testing.T) {
+	o := NewOccupancy(4)
+	o.Observe(4, 50)
+	o.Observe(0, 50)
+	if got := o.Average(); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Average = %v, want 0.5", got)
+	}
+	if got := o.FreeFraction(); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("FreeFraction = %v, want 0.5", got)
+	}
+	if o.Peak() != 4 || o.Capacity() != 4 {
+		t.Error("Peak/Capacity mismatch")
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	o := NewOccupancy(2)
+	for _, bad := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Observe(%d) did not panic", bad)
+				}
+			}()
+			o.Observe(bad, 1)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewOccupancy(0) did not panic")
+		}
+	}()
+	NewOccupancy(0)
+}
+
+func TestOccupancyEmpty(t *testing.T) {
+	o := NewOccupancy(8)
+	if o.Average() != 0 {
+		t.Error("Average with no time should be 0")
+	}
+	if o.FreeFraction() != 1 {
+		t.Error("FreeFraction with no time should be 1")
+	}
+}
+
+func TestOccupancyPropertyAverageBounded(t *testing.T) {
+	f := func(fills []uint8, dts []uint8) bool {
+		o := NewOccupancy(255)
+		n := len(fills)
+		if len(dts) < n {
+			n = len(dts)
+		}
+		for i := 0; i < n; i++ {
+			o.Observe(int(fills[i]), uint64(dts[i]))
+		}
+		a := o.Average()
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", h.Count())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("Bucket(%d) = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if got := h.Mean(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := h.FractionAbove(5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("FractionAbove(5) = %v, want 0.5", got)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(9)
+	if h.Bucket(0) != 1 || h.Bucket(3) != 1 {
+		t.Error("out-of-range samples must clamp to edge buckets")
+	}
+	if h.Count() != 2 {
+		t.Error("clamped samples must still count")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.1)
+	if s := h.String(); len(s) == 0 {
+		t.Error("String() should render something")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram shape did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 4)
+}
