@@ -8,6 +8,8 @@ package penelope_test
 
 import (
 	"math/rand"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"penelope/internal/adder"
@@ -145,6 +147,34 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "uops/s")
 }
 
+// BenchmarkRunBatch measures multi-trace scaling through the parallel
+// batch runner: the same 8-trace sweep with 1 worker and with one worker
+// per core. Aggregate uops/s should scale near-linearly with workers up
+// to the trace count (single-core machines report both the same).
+func BenchmarkRunBatch(b *testing.B) {
+	cfg := pipeline.DefaultConfig()
+	traces := trace.SampleTraces(5000, 70)
+	if len(traces) > 8 {
+		traces = traces[:8]
+	}
+	totalUops := uint64(0)
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range pipeline.RunBatch(cfg, traces, workers) {
+					totalUops += r.Uops
+				}
+			}
+			b.ReportMetric(float64(5000*len(traces)*b.N)/b.Elapsed().Seconds(), "uops/s")
+		})
+	}
+	_ = totalUops
+}
+
 // BenchmarkAblationRINVPeriod sweeps the RINV refresh period (DESIGN.md
 // §5): sampling too rarely leaves per-bit noise, too often costs
 // nothing here but would cost sampling bandwidth in hardware.
@@ -265,14 +295,5 @@ func BenchmarkAblationMetricExponent(b *testing.B) {
 }
 
 func benchName(prefix string, v int) string {
-	const digits = "0123456789"
-	if v == 0 {
-		return prefix + "0"
-	}
-	var buf []byte
-	for v > 0 {
-		buf = append([]byte{digits[v%10]}, buf...)
-		v /= 10
-	}
-	return prefix + string(buf)
+	return prefix + strconv.Itoa(v)
 }

@@ -1,0 +1,3 @@
+module penelope
+
+go 1.24

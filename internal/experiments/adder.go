@@ -70,8 +70,7 @@ func Fig5(o Options) Fig5Result {
 	util := func(cfg pipeline.Config) []float64 {
 		sum := make([]float64, cfg.NumAdders)
 		n := 0
-		for _, tr := range trace.SampleTraces(o.TraceLength, o.TraceStride*4) {
-			r := pipeline.Run(cfg, tr)
+		for _, r := range pipeline.RunBatch(cfg, trace.SampleTraces(o.TraceLength, o.TraceStride*4), 0) {
 			for i, u := range r.AdderUtil {
 				sum[i] += u
 			}

@@ -42,9 +42,14 @@ func Fig6(o Options) Fig6Result {
 	res.FPBaseline = make([]float64, 80)
 	res.FPISV = make([]float64, 80)
 	n := 0
-	for _, tr := range o.traces() {
-		b := pipeline.Run(baseCfg, tr)
-		i := pipeline.Run(isvCfg, tr)
+	// Both sweeps fan out over the worker pool; accumulation stays in
+	// trace order so the aggregated floats are bit-identical to a serial
+	// run.
+	traces := o.traces()
+	baseRes := pipeline.RunBatch(baseCfg, traces, 0)
+	isvRes := pipeline.RunBatch(isvCfg, traces, 0)
+	for ti := range traces {
+		b, i := baseRes[ti], isvRes[ti]
 		for k := 0; k < 32; k++ {
 			res.IntBaseline[k] += b.IntRF.Biases[k]
 			res.IntISV[k] += i.IntRF.Biases[k]

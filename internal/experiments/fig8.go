@@ -49,12 +49,14 @@ func Fig8(o Options) Fig8Result {
 }
 
 // aggregateSchedReports averages scheduler field reports across traces
-// run on fresh cores.
+// run on fresh cores. The runs fan out over the batch runner; the
+// averaging happens in trace order, keeping the floats bit-identical to
+// a serial sweep.
 func aggregateSchedReports(cfg pipeline.Config, traces []*trace.Trace) sched.Report {
 	var agg sched.Report
 	n := 0
-	for _, tr := range traces {
-		r := pipeline.Run(cfg, tr).Sched
+	for _, res := range pipeline.RunBatch(cfg, traces, 0) {
+		r := res.Sched
 		if n == 0 {
 			agg = r
 			for fi := range agg.Fields {

@@ -66,15 +66,19 @@ func Table3(o Options) Table3Result {
 	for _, cc := range Table3Configs() {
 		row := Table3Row{Config: cc}
 		var baseCPI, setCPI, lineCPI, dynCPI, baseMiss, dynInv float64
-		for _, tr := range traces {
-			base := pipeline.Run(applyCacheConfig(cc, cache.Options{}), tr)
-			set := pipeline.Run(applyCacheConfig(cc, cache.Options{
-				Scheme: cache.SchemeSetFixed, InvertRatio: 0.5, RotatePeriod: 2_000_000,
-			}), tr)
-			line := pipeline.Run(applyCacheConfig(cc, cache.Options{
-				Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 17,
-			}), tr)
-			dyn := pipeline.Run(applyCacheConfig(cc, dynOptions(o, cc)), tr)
+		// The four schemes sweep the workload through the batch runner;
+		// sums accumulate in trace order so the averages are bit-identical
+		// to a serial sweep.
+		baseRes := pipeline.RunBatch(applyCacheConfig(cc, cache.Options{}), traces, 0)
+		setRes := pipeline.RunBatch(applyCacheConfig(cc, cache.Options{
+			Scheme: cache.SchemeSetFixed, InvertRatio: 0.5, RotatePeriod: 2_000_000,
+		}), traces, 0)
+		lineRes := pipeline.RunBatch(applyCacheConfig(cc, cache.Options{
+			Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 17,
+		}), traces, 0)
+		dynRes := pipeline.RunBatch(applyCacheConfig(cc, dynOptions(o, cc)), traces, 0)
+		for ti := range traces {
+			base, set, line, dyn := baseRes[ti], setRes[ti], lineRes[ti], dynRes[ti]
 			baseCPI += base.CPI
 			setCPI += set.CPI
 			lineCPI += line.CPI
@@ -99,14 +103,14 @@ func Table3(o Options) Table3Result {
 	// §4.7: LineFixed50% on DL0 and DTLB together.
 	var baseCPI, bothCPI float64
 	lineOpt := cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 17}
-	for _, tr := range traces {
-		cfg := pipeline.DefaultConfig()
-		base := pipeline.Run(cfg, tr)
-		cfg.DL0Options = lineOpt
-		cfg.DTLBOptions = lineOpt
-		both := pipeline.Run(cfg, tr)
-		baseCPI += base.CPI
-		bothCPI += both.CPI
+	bothCfg := pipeline.DefaultConfig()
+	bothCfg.DL0Options = lineOpt
+	bothCfg.DTLBOptions = lineOpt
+	baseRes := pipeline.RunBatch(pipeline.DefaultConfig(), traces, 0)
+	bothRes := pipeline.RunBatch(bothCfg, traces, 0)
+	for ti := range traces {
+		baseCPI += baseRes[ti].CPI
+		bothCPI += bothRes[ti].CPI
 	}
 	res.CombinedCPI = bothCPI / baseCPI
 	return res
@@ -170,8 +174,7 @@ func MRUStudy(o Options, w io.Writer) {
 	cfg := pipeline.DefaultConfig()
 	ranks := make([]float64, cfg.DL0Ways)
 	n := 0.0
-	for _, tr := range trace.SampleTraces(o.TraceLength, o.TraceStride*2) {
-		r := pipeline.Run(cfg, tr)
+	for _, r := range pipeline.RunBatch(cfg, trace.SampleTraces(o.TraceLength, o.TraceStride*2), 0) {
 		var hits uint64
 		for _, c := range r.DL0Stats.HitWayRank {
 			hits += c

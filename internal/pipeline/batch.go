@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"penelope/internal/trace"
+)
+
+// RunBatch runs every trace through an independent core built from cfg,
+// fanning the work out over a pool of workers, and returns the results in
+// trace order. Each Run is completely independent — cores share no state
+// and traces are deterministic streams — so the result slice is
+// bit-identical to calling Run serially on each trace, regardless of the
+// worker count or scheduling order.
+//
+// workers <= 0 uses GOMAXPROCS. Traces that appear more than once in the
+// slice are cloned so no two workers ever share a stream.
+func RunBatch(cfg Config, traces []*trace.Trace, workers int) []Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	results := make([]Result, len(traces))
+	if len(traces) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	if workers == 1 {
+		for i, tr := range traces {
+			results[i] = Run(cfg, tr)
+		}
+		return results
+	}
+
+	// Traces are stateful streams: a pointer appearing twice would be
+	// Reset and consumed by two workers at once. Clone duplicates so
+	// every job owns its stream.
+	jobs := make([]*trace.Trace, len(traces))
+	seen := make(map[*trace.Trace]bool, len(traces))
+	for i, tr := range traces {
+		if seen[tr] {
+			tr = tr.Clone()
+		} else {
+			seen[tr] = true
+		}
+		jobs[i] = tr
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = Run(cfg, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

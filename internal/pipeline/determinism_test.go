@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"penelope/internal/cache"
+	"penelope/internal/sched"
+	"penelope/internal/trace"
+)
+
+// determinismConfigs exercises every hot-path mechanism the performance
+// work touches: baseline accounting, the ISV register files, the planned
+// scheduler (repair writes), and cache inversion.
+func determinismConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	base := DefaultConfig()
+
+	isv := DefaultConfig()
+	isv.EnableISV = true
+
+	planned := DefaultConfig()
+	planned.SchedPlan = sched.BuildPlan(Run(DefaultConfig(), trace.NewTrace(trace.Multimedia, 1, 4000)).Sched)
+
+	inverted := DefaultConfig()
+	inverted.EnableISV = true
+	inverted.DL0Options = cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 17}
+	inverted.DTLBOptions = cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: 0.5, Seed: 2}
+
+	return map[string]Config{"base": base, "isv": isv, "planned": planned, "inverted": inverted}
+}
+
+// TestRunDeterministic re-runs every configuration on the same trace and
+// requires the full Result — CPI, worst biases, per-bit series, miss
+// rates, occupancies, every field — to be deep-equal. This is the guard
+// that keeps hot-path rewrites (run-length bias accounting, the event
+// wheel) from silently changing reported statistics.
+func TestRunDeterministic(t *testing.T) {
+	for name, cfg := range determinismConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			tr := trace.NewTrace(trace.Server, 2, 6000)
+			a := Run(cfg, tr)
+			b := Run(cfg, tr)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("two runs of the same config/trace diverged:\n%+v\nvs\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestRunBatchMatchesSerial requires RunBatch to return, in order, the
+// bit-identical Results of serial Run calls — for any worker count, and
+// even when the same trace pointer appears twice in the batch.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableISV = true
+	shared := trace.NewTrace(trace.SpecINT2000, 3, 5000)
+	traces := []*trace.Trace{
+		trace.NewTrace(trace.SpecINT2000, 0, 5000),
+		trace.NewTrace(trace.Multimedia, 2, 5000),
+		shared,
+		trace.NewTrace(trace.Server, 1, 5000),
+		shared, // aliased on purpose: RunBatch must clone it
+		trace.NewTrace(trace.SpecFP2000, 4, 5000),
+	}
+
+	want := make([]Result, len(traces))
+	for i, tr := range traces {
+		want[i] = Run(cfg, tr)
+	}
+
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := RunBatch(cfg, traces, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("workers=%d: result %d (%s) differs from serial run", workers, i, want[i].Trace)
+			}
+		}
+	}
+}
+
+// TestRunBatchEmpty covers the degenerate inputs.
+func TestRunBatchEmpty(t *testing.T) {
+	if got := RunBatch(DefaultConfig(), nil, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}

@@ -5,21 +5,28 @@ import (
 	"testing/quick"
 )
 
+// collectWheel returns a wheel whose handler appends fired records to the
+// returned slice.
+func collectWheel() (*wheel, *[]eventRec) {
+	var fired []eventRec
+	w := &wheel{}
+	w.handler = func(r eventRec) { fired = append(fired, r) }
+	return w, &fired
+}
+
 func TestWheelFiresInOrder(t *testing.T) {
-	var w wheel
-	var got []uint64
+	w, fired := collectWheel()
 	for _, tm := range []uint64{5, 1, 3, 1, 9} {
-		tm := tm
-		w.at(tm, func(cyc uint64) { got = append(got, cyc) })
+		w.at(tm, eventRec{})
 	}
 	w.fireUpTo(4)
 	want := []uint64{1, 1, 3}
-	if len(got) != len(want) {
-		t.Fatalf("fired %v, want %v", got, want)
+	if len(*fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(*fired), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("fired %v, want %v", got, want)
+		if (*fired)[i].time != want[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, (*fired)[i].time, want[i])
 		}
 	}
 	if last := w.drain(); last != 9 {
@@ -28,44 +35,65 @@ func TestWheelFiresInOrder(t *testing.T) {
 }
 
 func TestWheelTieBreaksFIFO(t *testing.T) {
-	var w wheel
-	var order []int
+	w, fired := collectWheel()
 	for i := 0; i < 5; i++ {
-		i := i
-		w.at(7, func(uint64) { order = append(order, i) })
+		w.at(7, eventRec{arg: int32(i)})
 	}
 	w.drain()
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("same-time events fired out of insertion order: %v", order)
+	for i, r := range *fired {
+		if int(r.arg) != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", *fired)
 		}
 	}
 }
 
 func TestWheelNextTime(t *testing.T) {
-	var w wheel
+	w, _ := collectWheel()
 	if w.nextTime() != ^uint64(0) {
 		t.Fatal("empty wheel nextTime should be max")
 	}
-	w.at(42, func(uint64) {})
+	w.at(42, eventRec{})
 	if w.nextTime() != 42 {
 		t.Fatalf("nextTime = %d, want 42", w.nextTime())
 	}
 }
 
+// TestWheelOverflow schedules events far beyond the bucket horizon and
+// checks they still fire, in time order, via the overflow path.
+func TestWheelOverflow(t *testing.T) {
+	w, fired := collectWheel()
+	times := []uint64{3, wheelSize + 10, 5 * wheelSize, wheelSize - 1, 2*wheelSize + 7}
+	for _, tm := range times {
+		w.at(tm, eventRec{})
+	}
+	if got := w.nextTime(); got != 3 {
+		t.Fatalf("nextTime = %d, want 3", got)
+	}
+	if last := w.drain(); last != 5*wheelSize {
+		t.Fatalf("drain returned %d, want %d", last, 5*wheelSize)
+	}
+	if len(*fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(*fired), len(times))
+	}
+	for i := 1; i < len(*fired); i++ {
+		if (*fired)[i].time < (*fired)[i-1].time {
+			t.Fatalf("events fired out of time order: %v", *fired)
+		}
+	}
+}
+
 func TestWheelPropertySortedDelivery(t *testing.T) {
 	f := func(times []uint16) bool {
-		var w wheel
-		var fired []uint64
+		w, fired := collectWheel()
 		for _, tm := range times {
-			w.at(uint64(tm), func(cyc uint64) { fired = append(fired, cyc) })
+			w.at(uint64(tm), eventRec{})
 		}
 		w.drain()
-		if len(fired) != len(times) {
+		if len(*fired) != len(times) {
 			return false
 		}
-		for i := 1; i < len(fired); i++ {
-			if fired[i] < fired[i-1] {
+		for i := 1; i < len(*fired); i++ {
+			if (*fired)[i].time < (*fired)[i-1].time {
 				return false
 			}
 		}

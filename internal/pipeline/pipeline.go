@@ -43,8 +43,11 @@ type core struct {
 
 	intRAT [trace.NumIntRegs]int
 	fpRAT  [trace.NumFPRegs]int
-	ready  map[int]uint64 // int phys reg -> ready cycle
-	fready map[int]uint64 // fp phys reg -> ready cycle
+	// Dense scoreboards indexed by physical register: the ready cycle of
+	// the last value written, 0 once the register retires (a map would
+	// pay hashing on the two lookups every uop makes).
+	ready  []uint64
+	fready []uint64
 
 	portFree  []uint64 // issue port -> next free cycle
 	adderFree []uint64 // adder -> next free cycle
@@ -87,12 +90,13 @@ func Run(cfg Config, tr *trace.Trace) Result {
 		}),
 		dl0:       cache.New("DL0", cfg.DL0Bytes, cfg.DL0Line, cfg.DL0Ways, cfg.DL0Options),
 		dtlb:      cache.NewTLB("DTLB", cfg.DTLBEntries, cfg.DTLBWays, cfg.PageBytes, cfg.DTLBOptions),
-		ready:     map[int]uint64{},
-		fready:    map[int]uint64{},
+		ready:     make([]uint64, cfg.IntRegs),
+		fready:    make([]uint64, cfg.FPRegs),
 		portFree:  make([]uint64, cfg.IssuePorts),
 		adderFree: make([]uint64, cfg.NumAdders),
 		adderBusy: make([]uint64, cfg.NumAdders),
 	}
+	c.w.handler = c.fire
 	// Architectural state: allocate and zero-fill the committed
 	// registers at cycle 0 (the cold-start state §4.4 mentions).
 	for i := 0; i < trace.NumIntRegs; i++ {
@@ -288,31 +292,27 @@ func (c *core) dispatchUop(u *trace.Uop) {
 	// scheduling loop; later ones come over the bypass network.
 	d := sched.FromUop(u, dstPhys, src1Phys, src2Phys, src1Ready <= dispatch+2, src2Ready <= dispatch+2)
 	d.Port = port
-	slot, ok := c.sch.Dispatch(d, dispatch)
+	slot, ok := c.sch.Dispatch(&d, dispatch)
 	if !ok {
 		panic("pipeline: scheduler slot vanished")
 	}
-	c.w.at(issue, func(cyc uint64) {
-		c.sch.MarkReady(slot, true, true, cyc)
-		c.sch.Issue(slot, cyc)
-	})
+	c.w.at(issue, eventRec{kind: evIssue, arg: int32(slot)})
 	// Memory uops hand over to the MOB once their address generation
 	// issues; other uops hold their entry until writeback for replay.
 	releaseAt := complete + 1
 	if u.Class.IsMem() {
 		releaseAt = issue + 1
 	}
-	c.w.at(releaseAt, func(cyc uint64) { c.sch.Release(slot, cyc) })
+	c.w.at(releaseAt, eventRec{kind: evRelease, arg: int32(slot)})
 
 	// Destination write-back and scoreboard.
 	if dstPhys >= 0 {
-		val, ext := u.DstVal, uint64(u.DstExt)
 		if u.Class.IsFP() {
 			c.fready[dstPhys] = complete
-			c.w.at(complete, func(cyc uint64) { c.fpRF.Write(dstPhys, val, ext, cyc) })
+			c.w.at(complete, eventRec{kind: evWriteFP, arg: int32(dstPhys), val: u.DstVal, ext: u.DstExt})
 		} else {
 			c.ready[dstPhys] = complete
-			c.w.at(complete, func(cyc uint64) { c.intRF.Write(dstPhys, val, 0, cyc) })
+			c.w.at(complete, eventRec{kind: evWriteInt, arg: int32(dstPhys), val: u.DstVal})
 		}
 	}
 
@@ -331,19 +331,40 @@ func (c *core) dispatchUop(u *trace.Uop) {
 	}
 	c.retiredThis++
 	c.lastRetire = retire
-	isFP := u.Class.IsFP()
-	c.w.at(retire, func(cyc uint64) {
+	retireKind := evRetireInt
+	if u.Class.IsFP() {
+		retireKind = evRetireFP
+	}
+	c.w.at(retire, eventRec{kind: retireKind, arg: int32(prevPhys)})
+}
+
+// fire executes one event record; the wheel invokes it in time order.
+// Handlers never schedule further events, which keeps the wheel's firing
+// walk simple.
+func (c *core) fire(r eventRec) {
+	switch r.kind {
+	case evIssue:
+		c.sch.MarkReady(int(r.arg), true, true, r.time)
+		c.sch.Issue(int(r.arg), r.time)
+	case evRelease:
+		c.sch.Release(int(r.arg), r.time)
+	case evWriteInt:
+		c.intRF.Write(int(r.arg), r.val, 0, r.time)
+	case evWriteFP:
+		c.fpRF.Write(int(r.arg), r.val, uint64(r.ext), r.time)
+	case evRetireInt:
 		c.robCount--
-		if prevPhys >= 0 {
-			if isFP {
-				delete(c.fready, prevPhys)
-				c.fpRF.Release(prevPhys, cyc)
-			} else {
-				delete(c.ready, prevPhys)
-				c.intRF.Release(prevPhys, cyc)
-			}
+		if r.arg >= 0 {
+			c.ready[r.arg] = 0
+			c.intRF.Release(int(r.arg), r.time)
 		}
-	})
+	case evRetireFP:
+		c.robCount--
+		if r.arg >= 0 {
+			c.fready[r.arg] = 0
+			c.fpRF.Release(int(r.arg), r.time)
+		}
+	}
 }
 
 // destAvailable reports whether the uop's destination register file has a

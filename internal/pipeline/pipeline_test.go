@@ -50,14 +50,6 @@ func TestRunBasics(t *testing.T) {
 	}
 }
 
-func TestRunDeterministic(t *testing.T) {
-	a := Run(DefaultConfig(), shortTrace(trace.Office, 1))
-	b := Run(DefaultConfig(), shortTrace(trace.Office, 1))
-	if a.Cycles != b.Cycles || a.DL0Stats.Misses != b.DL0Stats.Misses {
-		t.Fatal("identical runs diverged")
-	}
-}
-
 // TestPaperOccupancies checks the headline §4.4/§4.5 statistics land in
 // the paper's neighbourhood: register files free more than half the
 // time, scheduler occupancy moderate-high, write ports mostly available.

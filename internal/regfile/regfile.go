@@ -236,16 +236,24 @@ func (f *File) Write(reg int, value, ext uint64, cycle uint64) {
 		panic(fmt.Sprintf("regfile %s: write to free register %d", f.cfg.Name, reg))
 	}
 	f.takePortDemand(cycle)
-	f.flushEntry(reg, cycle)
+	v, x := f.maskLo(value), f.maskExt(ext)
+	// A write of the value the cell already holds extends the current
+	// run instead of closing it: the bias totals are identical (Observe
+	// is additive over equal-value intervals) and the per-bit expansion
+	// is skipped. Rewrites with identical data are common — zero results,
+	// repeated constants — so this is a hot-path win, not a corner case.
+	if v != e.value || x != e.ext {
+		f.flushEntry(reg, cycle)
+		e.value = v
+		e.ext = x
+	}
 	if e.invContent {
 		e.invContent = false
 		f.invertedCells--
 	}
-	e.value = f.maskLo(value)
-	e.ext = f.maskExt(ext)
-	f.rinvLo.Offer(e.value, cycle)
+	f.rinvLo.Offer(v, cycle)
 	if f.rinvExt != nil {
-		f.rinvExt.Offer(e.ext, cycle)
+		f.rinvExt.Offer(x, cycle)
 	}
 }
 

@@ -41,16 +41,16 @@ type Plan struct {
 }
 
 // Technique returns the dominant technique of a field (the technique of
-// the majority of its bits), for reporting.
+// the majority of its bits), for reporting. Ties break toward the
+// technique of the lowest bit so the answer is deterministic (a map
+// iteration here once made tied fields flip between runs).
 func (p *Plan) Technique(id FieldID) mitigation.Technique {
 	counts := map[mitigation.Technique]int{}
+	best, bestN := mitigation.TechNone, 0
 	for _, bp := range p.Fields[id] {
 		counts[bp.Technique]++
-	}
-	best, bestN := mitigation.TechNone, 0
-	for tech, n := range counts {
-		if n > bestN {
-			best, bestN = tech, n
+		if n := counts[bp.Technique]; n > bestN {
+			best, bestN = bp.Technique, n
 		}
 	}
 	return best
@@ -104,8 +104,13 @@ type Scheduler struct {
 	freeList []int
 	freeHead int
 
-	// Per-field aggregated bias trackers and last-touch bookkeeping per
-	// entry per field.
+	// Per-field aggregated bias trackers. lastTouch[slot][f] is the start
+	// of the current run of (slot, f): the interval since then during
+	// which the field's value and busy/live state were unchanged. Runs
+	// are expanded into the bias trackers only when a mutation actually
+	// changes the value or the effective (busy && live) state, so a field
+	// that keeps its contents across dispatches, issues and releases is
+	// accounted as one long interval instead of one per event.
 	bias      [NumFields]*stats.BitBias
 	lastTouch [][NumFields]uint64
 
@@ -126,6 +131,9 @@ type Scheduler struct {
 	// "2 timestamps of 10 bits each suffice" for the ISV fields).
 	rinv [NumFields]*mitigation.RINV
 	isv  [NumFields]*isvClock
+	// clocks holds the distinct isvClock instances, so advance need not
+	// deduplicate the shared SRC-data clock on every call.
+	clocks []*isvClock
 
 	// Duty counters per distinct K, lazily created.
 	duty map[int]*mitigation.DutyCounter
@@ -157,9 +165,11 @@ func New(cfg Config) *Scheduler {
 	shared := &isvClock{cells: 2 * cfg.Entries}
 	s.isv[FieldSRC1Data] = shared
 	s.isv[FieldSRC2Data] = shared
+	s.clocks = append(s.clocks, shared)
 	for f := FieldID(0); f < NumFields; f++ {
 		if s.isv[f] == nil {
 			s.isv[f] = &isvClock{cells: cfg.Entries}
+			s.clocks = append(s.clocks, s.isv[f])
 		}
 	}
 	for i := 0; i < cfg.Entries; i++ {
@@ -180,12 +190,8 @@ func (s *Scheduler) advance(cycle uint64) {
 		s.occ.Observe(s.busyCount, dt)
 		s.dataOcc.Observe(s.dataCount, dt)
 		s.portStats.Tick(dt)
-		seen := map[*isvClock]bool{}
-		for f := FieldID(0); f < NumFields; f++ {
-			if c := s.isv[f]; !seen[c] {
-				seen[c] = true
-				c.advance(dt)
-			}
+		for _, c := range s.clocks {
+			c.advance(dt)
 		}
 		s.lastCycle = cycle
 	}
@@ -215,7 +221,13 @@ func (s *Scheduler) takePort(cycle uint64, repair bool) bool {
 	return true
 }
 
-// flushField accumulates the bias interval of (slot, field) up to cycle.
+// flushField expands the pending run of (slot, field) into the bias
+// tracker, accounting the interval since the run began up to cycle under
+// the field's current value and busy/live state. Callers invoke it just
+// before a mutation that changes either; a mutation that leaves both
+// unchanged simply extends the run and must not flush (the totals are
+// identical either way — Observe is additive over equal-value intervals —
+// but one long interval is far cheaper than many short ones).
 func (s *Scheduler) flushField(slot int, f FieldID, cycle uint64) {
 	last := s.lastTouch[slot][f]
 	if cycle <= last {
@@ -241,8 +253,9 @@ func (s *Scheduler) flushAll(slot int, cycle uint64) {
 var dataFields = [...]FieldID{FieldSRC1Data, FieldSRC2Data, FieldImm}
 
 // Dispatch fills a free slot with a uop's fields, consuming one allocate
-// port. ok is false when the scheduler is full.
-func (s *Scheduler) Dispatch(d Dispatch, cycle uint64) (slot int, ok bool) {
+// port. ok is false when the scheduler is full. d is read-only; it is
+// taken by pointer to keep the per-uop hot path copy-free.
+func (s *Scheduler) Dispatch(d *Dispatch, cycle uint64) (slot int, ok bool) {
 	s.advance(cycle)
 	if s.FreeSlots() == 0 {
 		return -1, false
@@ -255,10 +268,7 @@ func (s *Scheduler) Dispatch(d Dispatch, cycle uint64) (slot int, ok bool) {
 		s.freeList = s.freeList[:len(s.freeList)-s.freeHead]
 		s.freeHead = 0
 	}
-	s.flushAll(slot, cycle)
 	e := &s.entries[slot]
-	e.busy = true
-	e.issued = false
 	for f := FieldID(0); f < NumFields; f++ {
 		// Conditional fields are only written when the uop actually
 		// uses them: uncaptured operands arrive over the bypass, uops
@@ -282,22 +292,30 @@ func (s *Scheduler) Dispatch(d Dispatch, cycle uint64) (slot int, ok bool) {
 		case FieldSRC2Tag:
 			live = d.HasSrc2
 		}
-		e.live[f] = live
 		if !live {
+			// The cell keeps its contents and stays in free-time
+			// accounting (the slot was free, and a dead field of a busy
+			// slot is accounted the same way), so its run just extends.
+			e.live[f] = false
 			continue
 		}
+		// Value and state change: close the field's free run first.
+		s.flushField(slot, f, cycle)
+		e.live[f] = true
 		if e.invContent[f] {
 			// Real data overwrites repair contents.
 			e.invContent[f] = false
 			s.isv[f].invertedCells--
 		}
-		e.values[f] = fieldValue(&d, f)
+		e.values[f] = fieldValue(d, f)
 		// Sample write-port data into the RINVs (§4.5: "Sampled values
 		// ... can be taken from the register file when read or from
 		// bypasses ... immediate values are taken directly from the
 		// instruction").
 		s.rinv[f].Offer(e.values[f], cycle)
 	}
+	e.busy = true
+	e.issued = false
 	if e.live[FieldSRC1Data] {
 		s.dataCount++
 	}
@@ -312,11 +330,12 @@ func (s *Scheduler) MarkReady(slot int, src1, src2 bool, cycle uint64) {
 	if !e.busy {
 		panic("sched: MarkReady on free slot")
 	}
-	if src1 {
+	// A ready bit that is already set extends its run untouched.
+	if src1 && e.values[FieldReady1] != 1 {
 		s.flushField(slot, FieldReady1, cycle)
 		e.values[FieldReady1] = 1
 	}
-	if src2 {
+	if src2 && e.values[FieldReady2] != 1 {
 		s.flushField(slot, FieldReady2, cycle)
 		e.values[FieldReady2] = 1
 	}
@@ -336,8 +355,12 @@ func (s *Scheduler) Issue(slot int, cycle uint64) {
 		s.dataCount--
 	}
 	for _, f := range dataFields {
-		s.flushField(slot, f, cycle)
-		e.live[f] = false
+		// Only fields that actually held captured data change state
+		// (busy-live → free); dead data cells keep their free run going.
+		if e.live[f] {
+			s.flushField(slot, f, cycle)
+			e.live[f] = false
+		}
 	}
 	if s.cfg.Plan == nil {
 		return
@@ -347,7 +370,7 @@ func (s *Scheduler) Issue(slot int, cycle uint64) {
 		return
 	}
 	for _, f := range dataFields {
-		s.repairField(slot, f)
+		s.repairField(slot, f, cycle)
 	}
 	s.repairWrites++
 }
@@ -360,7 +383,13 @@ func (s *Scheduler) Release(slot int, cycle uint64) {
 	if !e.busy {
 		panic("sched: double release")
 	}
-	s.flushAll(slot, cycle)
+	// Close the runs of the live fields (busy-live → free); dead fields
+	// keep value and free state, so their runs extend across the release.
+	for f := FieldID(0); f < NumFields; f++ {
+		if e.live[f] {
+			s.flushField(slot, f, cycle)
+		}
+	}
 	e.busy = false
 	if !e.issued && e.live[FieldSRC1Data] {
 		s.dataCount--
@@ -375,7 +404,7 @@ func (s *Scheduler) Release(slot int, cycle uint64) {
 				if f == FieldValid || fieldSpecs[f].DataField {
 					continue // valid unprotectable; data fields repaired at issue
 				}
-				s.repairField(slot, f)
+				s.repairField(slot, f, cycle)
 			}
 			s.repairWrites++
 		} else {
@@ -385,8 +414,9 @@ func (s *Scheduler) Release(slot int, cycle uint64) {
 	s.freeList = append(s.freeList, slot)
 }
 
-// repairField writes the plan's repair value into a freed field.
-func (s *Scheduler) repairField(slot int, f FieldID) {
+// repairField writes the plan's repair value into a freed field, closing
+// the field's pending run first when the value actually changes.
+func (s *Scheduler) repairField(slot int, f FieldID, cycle uint64) {
 	plans := s.cfg.Plan.Fields[f]
 	if len(plans) == 0 {
 		return
@@ -421,7 +451,10 @@ func (s *Scheduler) repairField(slot int, f FieldID) {
 			v |= 1 << uint(bit)
 		}
 	}
-	e.values[f] = v
+	if v != e.values[f] {
+		s.flushField(slot, f, cycle)
+		e.values[f] = v
+	}
 	if wroteInverted && !e.invContent[f] {
 		e.invContent[f] = true
 		clk.invertedCells++

@@ -50,7 +50,7 @@ func TestConfigValidate(t *testing.T) {
 func TestDispatchIssueReleaseLifecycle(t *testing.T) {
 	s := New(Config{Entries: 2, AllocPorts: 4})
 	d := Dispatch{Latency: 3, Port: 2, Src1Data: 0xABCD}
-	slot, ok := s.Dispatch(d, 1)
+	slot, ok := s.Dispatch(&d, 1)
 	if !ok || s.FreeSlots() != 1 {
 		t.Fatal("dispatch failed")
 	}
@@ -61,16 +61,16 @@ func TestDispatchIssueReleaseLifecycle(t *testing.T) {
 		t.Fatal("release did not free the slot")
 	}
 	// Filling both slots blocks the third dispatch.
-	s.Dispatch(d, 6)
-	s.Dispatch(d, 6)
-	if _, ok := s.Dispatch(d, 6); ok {
+	s.Dispatch(&d, 6)
+	s.Dispatch(&d, 6)
+	if _, ok := s.Dispatch(&d, 6); ok {
 		t.Fatal("full scheduler accepted a dispatch")
 	}
 }
 
 func TestLifecyclePanics(t *testing.T) {
 	s := New(Config{Entries: 2, AllocPorts: 4})
-	slot, _ := s.Dispatch(Dispatch{}, 1)
+	slot, _ := s.Dispatch(&Dispatch{}, 1)
 	s.Issue(slot, 2)
 	for _, f := range []func(){
 		func() { s.Issue(slot, 3) },               // double issue
@@ -134,7 +134,7 @@ func driveScheduler(s *Scheduler, tr *trace.Trace, cycles uint64, seed int64) {
 			}
 			d := FromUop(&u, tags%128, (tags+7)%128, (tags+13)%128, rng.Float64() < 0.5, rng.Float64() < 0.5)
 			tags++
-			slot, ok := s.Dispatch(d, cyc)
+			slot, ok := s.Dispatch(&d, cyc)
 			if !ok {
 				break
 			}

@@ -1,5 +1,7 @@
 package stats
 
+import "math/bits"
+
 // BitBias accumulates, per bit position, the time a stored value held a
 // logic "0" versus a logic "1". This is the quantity NBTI degradation
 // depends on: the zero-signal probability at the gate of the PMOS
@@ -11,6 +13,7 @@ package stats
 // bias over busy time only, or over total time with an assumed idle value.
 type BitBias struct {
 	bits      int
+	mask      uint64   // low `bits` set: the tracked positions
 	zeroBusy  []uint64 // cycles each bit held "0" while the entry was busy
 	busyTime  uint64   // total busy cycles observed
 	freeTime  uint64   // total free cycles observed
@@ -26,6 +29,7 @@ func NewBitBias(bits int) *BitBias {
 	}
 	return &BitBias{
 		bits:     bits,
+		mask:     ^uint64(0) >> uint(64-bits),
 		zeroBusy: make([]uint64, bits),
 		zeroFree: make([]uint64, bits),
 	}
@@ -34,6 +38,15 @@ func NewBitBias(bits int) *BitBias {
 // Bits returns the tracked width.
 func (b *BitBias) Bits() int { return b.bits }
 
+// addZeros credits dt to the counters of every zero bit of value,
+// word-parallel: it walks only the set bits of ^value instead of testing
+// all positions one by one.
+func addZeros(counts []uint64, value, mask, dt uint64) {
+	for m := ^value & mask; m != 0; m &= m - 1 {
+		counts[bits.TrailingZeros64(m)] += dt
+	}
+}
+
 // Observe records that value was held for dt cycles while busy.
 func (b *BitBias) Observe(value uint64, dt uint64) {
 	if dt == 0 {
@@ -41,11 +54,7 @@ func (b *BitBias) Observe(value uint64, dt uint64) {
 	}
 	b.busyTime += dt
 	b.intervals++
-	for i := 0; i < b.bits; i++ {
-		if value&(1<<uint(i)) == 0 {
-			b.zeroBusy[i] += dt
-		}
-	}
+	addZeros(b.zeroBusy, value, b.mask, dt)
 }
 
 // ObserveFree records that the cell held value for dt cycles while the
@@ -57,11 +66,7 @@ func (b *BitBias) ObserveFree(value uint64, dt uint64) {
 		return
 	}
 	b.freeTime += dt
-	for i := 0; i < b.bits; i++ {
-		if value&(1<<uint(i)) == 0 {
-			b.zeroFree[i] += dt
-		}
-	}
+	addZeros(b.zeroFree, value, b.mask, dt)
 }
 
 // BusyTime returns the total busy cycles observed.

@@ -191,6 +191,11 @@ func NewTrace(id SuiteID, idx, length int) *Trace {
 // Name identifies the trace, e.g. "server/12".
 func (t *Trace) Name() string { return fmt.Sprintf("%s/%d", SuiteByID(t.SuiteID).Name, t.Index) }
 
+// Clone returns an independent trace producing the identical uop
+// sequence. Traces are stateful streams, so concurrent consumers (e.g.
+// pipeline.RunBatch workers) each need their own instance.
+func (t *Trace) Clone() *Trace { return NewTrace(t.SuiteID, t.Index, t.Length) }
+
 // Reset rewinds the trace to its first uop; replays are identical.
 func (t *Trace) Reset() {
 	t.rng = rand.New(rand.NewSource(t.seed))

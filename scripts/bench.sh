@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and archives the results as BENCH_<date>.json
+# so successive PRs accumulate a performance trajectory.
+#
+# Usage: scripts/bench.sh [extra go test args...]
+#   e.g. scripts/bench.sh -benchtime 2s -count 3
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+date="$(date -u +%Y-%m-%d)"
+out="BENCH_${date}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench . -benchmem "$@" . | tee "$tmp"
+
+# Convert `go test -bench` output lines into a JSON array of records.
+awk -v date="$date" '
+BEGIN { print "[" }
+/^Benchmark/ {
+    if (n++) printf ",\n"
+    printf "  {\"date\": \"%s\", \"name\": \"%s\", \"iterations\": %s", date, $1, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
