@@ -17,10 +17,14 @@ import (
 	"penelope/internal/circuit"
 )
 
-// Adder is an elaborated Ladner-Fischer adder.
+// Adder is an elaborated Ladner-Fischer adder. The netlist is compiled
+// once at construction into a bit-parallel program (prog), so Eval,
+// EvalBatch and the aging sweeps evaluate 64 input vectors per pass;
+// the interpreted netlist remains available as the scalar oracle.
 type Adder struct {
 	width   int
 	netlist *circuit.Netlist
+	prog    *circuit.Program
 	a, b    []circuit.Signal
 	cin     circuit.Signal
 	sum     []circuit.Signal
@@ -135,6 +139,7 @@ func New(width, wideFanout int) *Adder {
 	n.MarkOutput(ad.neg)
 
 	n.AutoWiden(wideFanout)
+	ad.prog = n.Compile()
 	return ad
 }
 
@@ -146,6 +151,13 @@ func (ad *Adder) Width() int { return ad.width }
 
 // Netlist exposes the underlying netlist.
 func (ad *Adder) Netlist() *circuit.Netlist { return ad.netlist }
+
+// NewStressSim returns a stress simulator over the adder netlist that
+// shares the adder's compiled program instead of recompiling it —
+// the constructor the aging sweeps use.
+func (ad *Adder) NewStressSim() *circuit.StressSim {
+	return circuit.NewStressSimCompiled(ad.netlist, ad.prog)
+}
 
 // PrefixLevels returns the number of prefix-tree levels (log₂ width).
 func (ad *Adder) PrefixLevels() int { return ad.levels }
@@ -162,6 +174,47 @@ func (ad *Adder) InputVector(a, b uint64, cin bool) []bool {
 	return v
 }
 
+// Operands is one adder input vector: two operands plus carry-in.
+type Operands struct {
+	A, B uint64
+	Cin  bool
+}
+
+// InputWords transposes up to 64 operand triples into the word layout
+// the compiled program consumes: one word per primary input, bit l
+// holding lane l's value. Lanes beyond len(ops) are zero (and masked off
+// by every consumer).
+func (ad *Adder) InputWords(ops []Operands) []uint64 {
+	if len(ops) > 64 {
+		panic("adder: more than 64 lanes")
+	}
+	words := make([]uint64, 2*ad.width+1)
+	ad.inputWordsInto(ops, words)
+	return words
+}
+
+// inputWordsInto is InputWords filling a caller-provided slice, for the
+// allocation-free aging loops.
+func (ad *Adder) inputWordsInto(ops []Operands, words []uint64) {
+	for i := range words {
+		words[i] = 0
+	}
+	for l, op := range ops {
+		bit := uint64(1) << uint(l)
+		for i := 0; i < ad.width; i++ {
+			if op.A&(1<<uint(i)) != 0 {
+				words[i] |= bit
+			}
+			if op.B&(1<<uint(i)) != 0 {
+				words[ad.width+i] |= bit
+			}
+		}
+		if op.Cin {
+			words[2*ad.width] |= bit
+		}
+	}
+}
+
 // Result is the decoded output of one adder evaluation.
 type Result struct {
 	Sum      uint64
@@ -171,8 +224,16 @@ type Result struct {
 	Negative bool
 }
 
-// Eval runs the netlist on the given operands and decodes the outputs.
+// Eval runs the compiled netlist on the given operands and decodes the
+// outputs. EvalScalar is the interpreted equivalent.
 func (ad *Adder) Eval(a, b uint64, cin bool) Result {
+	vals := ad.prog.EvalVec(ad.InputWords([]Operands{{A: a, B: b, Cin: cin}}))
+	return ad.decodeLane(vals, 0)
+}
+
+// EvalScalar runs the interpreted (one bool per signal) netlist — the
+// oracle the bit-parallel path is validated against.
+func (ad *Adder) EvalScalar(a, b uint64, cin bool) Result {
 	vals := ad.netlist.Eval(ad.InputVector(a, b, cin))
 	var r Result
 	for i, s := range ad.sum {
@@ -184,6 +245,43 @@ func (ad *Adder) Eval(a, b uint64, cin bool) Result {
 	r.Zero = vals[ad.zero]
 	r.Overflow = vals[ad.ovf]
 	r.Negative = vals[ad.neg]
+	return r
+}
+
+// EvalBatch evaluates any number of operand triples through the
+// bit-parallel program, 64 lanes per netlist pass, and returns one
+// decoded Result per input in order.
+func (ad *Adder) EvalBatch(ops []Operands) []Result {
+	out := make([]Result, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+	words := make([]uint64, 2*ad.width+1)
+	vals := make([]uint64, ad.prog.NumSignals())
+	for base := 0; base < len(ops); base += 64 {
+		chunk := ops[base:min(base+64, len(ops))]
+		ad.inputWordsInto(chunk, words)
+		ad.prog.EvalVecInto(words, vals)
+		for l := range chunk {
+			out[base+l] = ad.decodeLane(vals, l)
+		}
+	}
+	return out
+}
+
+// decodeLane extracts lane l of a vector evaluation into a Result.
+func (ad *Adder) decodeLane(vals []uint64, l int) Result {
+	var r Result
+	bit := uint64(1) << uint(l)
+	for i, s := range ad.sum {
+		if vals[s]&bit != 0 {
+			r.Sum |= 1 << uint(i)
+		}
+	}
+	r.CarryOut = vals[ad.cout]&bit != 0
+	r.Zero = vals[ad.zero]&bit != 0
+	r.Overflow = vals[ad.ovf]&bit != 0
+	r.Negative = vals[ad.neg]&bit != 0
 	return r
 }
 

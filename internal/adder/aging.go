@@ -2,9 +2,10 @@ package adder
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-	"penelope/internal/circuit"
 	"penelope/internal/nbti"
 )
 
@@ -12,25 +13,32 @@ import (
 // combinations of InputA, InputB and CarryIn set to all-zeros or all-ones.
 const NumSyntheticInputs = 8
 
-// SyntheticInput returns synthetic input k (1-based, 1..8), numbered as
-// in the paper: <InputA, InputB, CarryIn> in ascending binary order, so
-// input 1 is <0,0,0>, input 2 is <0,0,1>, ... input 8 is <1,1,1>.
-// "InputA is 0 (1)" means all its bits are 0 (1).
-func (ad *Adder) SyntheticInput(k int) []bool {
+// SyntheticOperands returns synthetic input k (1-based, 1..8) as an
+// operand triple, numbered as in the paper: <InputA, InputB, CarryIn> in
+// ascending binary order, so input 1 is <0,0,0>, input 2 is <0,0,1>, ...
+// input 8 is <1,1,1>. "InputA is 0 (1)" means all its bits are 0 (1).
+func (ad *Adder) SyntheticOperands(k int) Operands {
 	if k < 1 || k > NumSyntheticInputs {
 		panic("adder: synthetic input index must be in 1..8")
 	}
 	bits := k - 1
-	var a, b uint64
+	var op Operands
 	mask := uint64(1)<<uint(ad.width) - 1
 	if bits&4 != 0 {
-		a = mask
+		op.A = mask
 	}
 	if bits&2 != 0 {
-		b = mask
+		op.B = mask
 	}
-	cin := bits&1 != 0
-	return ad.InputVector(a, b, cin)
+	op.Cin = bits&1 != 0
+	return op
+}
+
+// SyntheticInput returns synthetic input k as a primary-input vector
+// (see SyntheticOperands for the numbering).
+func (ad *Adder) SyntheticInput(k int) []bool {
+	op := ad.SyntheticOperands(k)
+	return ad.InputVector(op.A, op.B, op.Cin)
 }
 
 // OperandSource yields "real" operand samples for the adder, e.g. sampled
@@ -56,26 +64,62 @@ type PairResult struct {
 // Label renders the pair like the Figure 4 x-axis ("1+8").
 func (r PairResult) Label() string { return fmt.Sprintf("%d+%d", r.I, r.J) }
 
+// sweepWorkers caps the Figure 4 fan-out: the per-pair analysis is a
+// single transistor-table walk, so a few workers saturate it.
+const sweepWorkers = 4
+
 // SweepPairs evaluates all 28 pairs of synthetic inputs, alternating each
 // pair round-robin for equal time (so every transistor sees zero-signal
 // probability 0, 50 or 100%), and returns results in x-axis order
 // (1+2, 1+3, ... 7+8). This regenerates Figure 4.
+//
+// The netlist is evaluated exactly once: the 8 synthetic inputs ride in
+// 8 lanes of one bit-parallel pass, each pair's report then reads its
+// two lanes out of the captured level words (AnalyzeLanes). The 28 pure
+// per-pair analyses fan out over a small worker pool, mirroring
+// pipeline.RunBatch; results land at their pair's index so the output
+// order is deterministic.
 func (ad *Adder) SweepPairs(params nbti.Params) []PairResult {
-	var out []PairResult
+	sim := ad.NewStressSim()
+	ops := make([]Operands, NumSyntheticInputs)
+	for k := 1; k <= NumSyntheticInputs; k++ {
+		ops[k-1] = ad.SyntheticOperands(k)
+	}
+	words := sim.Levels(ad.InputWords(ops))
+
+	type pair struct{ i, j int }
+	var pairs []pair
 	for i := 1; i <= NumSyntheticInputs; i++ {
 		for j := i + 1; j <= NumSyntheticInputs; j++ {
-			sim := circuit.NewStressSim(ad.netlist)
-			sim.Apply(ad.SyntheticInput(i), 1)
-			sim.Apply(ad.SyntheticInput(j), 1)
-			rep := sim.Analyze(params)
-			out = append(out, PairResult{
-				I: i, J: j,
-				NarrowFullyStressed: rep.NarrowFullyStressed,
-				WorstEffectiveBias:  rep.WorstEffectiveBias,
-				Guardband:           rep.Guardband,
-			})
+			pairs = append(pairs, pair{i, j})
 		}
 	}
+	out := make([]PairResult, len(pairs))
+	workers := min(runtime.GOMAXPROCS(0), sweepWorkers, len(pairs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(pairs) {
+					return
+				}
+				p := pairs[idx]
+				mask := uint64(1)<<uint(p.i-1) | uint64(1)<<uint(p.j-1)
+				rep := sim.AnalyzeLanes(words, mask, params)
+				out[idx] = PairResult{
+					I: p.i, J: p.j,
+					NarrowFullyStressed: rep.NarrowFullyStressed,
+					WorstEffectiveBias:  rep.WorstEffectiveBias,
+					Guardband:           rep.Guardband,
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
@@ -86,16 +130,15 @@ func BestPair(results []PairResult) PairResult {
 	if len(results) == 0 {
 		panic("adder: no pair results")
 	}
-	sorted := make([]PairResult, len(results))
-	copy(sorted, results)
-	sort.SliceStable(sorted, func(a, b int) bool {
-		ra, rb := sorted[a], sorted[b]
-		if ra.NarrowFullyStressed != rb.NarrowFullyStressed {
-			return ra.NarrowFullyStressed < rb.NarrowFullyStressed
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.NarrowFullyStressed < best.NarrowFullyStressed ||
+			(r.NarrowFullyStressed == best.NarrowFullyStressed &&
+				r.WorstEffectiveBias < best.WorstEffectiveBias) {
+			best = r
 		}
-		return ra.WorstEffectiveBias < rb.WorstEffectiveBias
-	})
-	return sorted[0]
+	}
+	return best
 }
 
 // ScenarioResult is one bar of Figure 5.
@@ -114,6 +157,14 @@ type ScenarioResult struct {
 // realFraction 1.0 reproduces the "real inputs" bar of Figure 5 (inputs
 // remain unchanged during idle periods); 0.30/0.21/0.11 reproduce the
 // three utilization scenarios of §4.3.
+//
+// Real samples are packed 64 per bit-parallel pass (every sample shares
+// the same per-sample slot, so one ApplyVec accounts a whole pack), and
+// the two synthetic injections — constant across samples — are each
+// applied once with their aggregate time. Stress totals are
+// order-independent sums, so the report is bit-identical to the
+// per-sample scalar loop; operands are still drawn one per sample in
+// order, keeping the source's stream state unchanged.
 func (ad *Adder) GuardbandScenario(src OperandSource, realFraction float64, i, j, samples int, params nbti.Params) ScenarioResult {
 	if realFraction < 0 || realFraction > 1 {
 		panic("adder: real fraction must be in [0,1]")
@@ -121,7 +172,7 @@ func (ad *Adder) GuardbandScenario(src OperandSource, realFraction float64, i, j
 	if samples < 1 {
 		panic("adder: need at least one sample")
 	}
-	sim := circuit.NewStressSim(ad.netlist)
+	sim := ad.NewStressSim()
 	// Time is interleaved at per-sample granularity: each real sample is
 	// held for a slot proportional to realFraction, followed by the two
 	// synthetic inputs sharing the idle remainder. Scaling by 1000 keeps
@@ -129,16 +180,27 @@ func (ad *Adder) GuardbandScenario(src OperandSource, realFraction float64, i, j
 	const scale = 1000
 	realDt := uint64(realFraction * scale)
 	idleDt := uint64(scale) - realDt
+	words := make([]uint64, 2*ad.width+1)
+	ops := make([]Operands, 0, 64)
+	flush := func() {
+		if len(ops) > 0 && realDt > 0 {
+			ad.inputWordsInto(ops, words)
+			sim.ApplyVec(words, len(ops), realDt)
+		}
+		ops = ops[:0]
+	}
 	for s := 0; s < samples; s++ {
 		a, b, cin := src.NextOperands()
-		if realDt > 0 {
-			sim.Apply(ad.InputVector(a, b, cin), realDt)
+		ops = append(ops, Operands{A: a, B: b, Cin: cin})
+		if len(ops) == 64 {
+			flush()
 		}
-		if idleDt > 0 {
-			half := idleDt / 2
-			sim.Apply(ad.SyntheticInput(i), half)
-			sim.Apply(ad.SyntheticInput(j), idleDt-half)
-		}
+	}
+	flush()
+	if idleDt > 0 {
+		half := idleDt / 2
+		sim.Apply(ad.SyntheticInput(i), half*uint64(samples))
+		sim.Apply(ad.SyntheticInput(j), (idleDt-half)*uint64(samples))
 	}
 	rep := sim.Analyze(params)
 	name := fmt.Sprintf("%.0f%% real + %d + %d", realFraction*100, i, j)

@@ -1,0 +1,199 @@
+package adder
+
+import (
+	"math/rand"
+	"testing"
+
+	"penelope/internal/circuit"
+	"penelope/internal/nbti"
+)
+
+// TestEvalBatchMatchesReference drives EvalBatch with 0, 1, exactly 64
+// and >64 operand triples and checks every decoded Result against the
+// behavioural reference.
+func TestEvalBatchMatchesReference(t *testing.T) {
+	ad := New32()
+	rng := rand.New(rand.NewSource(5))
+	for _, count := range []int{0, 1, 63, 64, 65, 200} {
+		ops := make([]Operands, count)
+		for i := range ops {
+			ops[i] = Operands{
+				A:   uint64(rng.Uint32()),
+				B:   uint64(rng.Uint32()),
+				Cin: rng.Intn(2) == 1,
+			}
+		}
+		got := ad.EvalBatch(ops)
+		if len(got) != count {
+			t.Fatalf("EvalBatch(%d ops) returned %d results", count, len(got))
+		}
+		for i, op := range ops {
+			if want := ad.Reference(op.A, op.B, op.Cin); got[i] != want {
+				t.Fatalf("count=%d lane %d: %+v, want %+v", count, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestEvalMatchesScalarOracle checks the compiled single-lane Eval path
+// against the interpreted netlist.
+func TestEvalMatchesScalarOracle(t *testing.T) {
+	ad := New(8, 0)
+	for a := uint64(0); a < 256; a += 3 {
+		for b := uint64(0); b < 256; b += 11 {
+			for _, cin := range []bool{false, true} {
+				if got, want := ad.Eval(a, b, cin), ad.EvalScalar(a, b, cin); got != want {
+					t.Fatalf("Eval(%d,%d,%v) = %+v, scalar oracle %+v", a, b, cin, got, want)
+				}
+			}
+		}
+	}
+}
+
+// sweepPairsScalar is the pre-vectorization Figure 4 sweep: one scalar
+// StressSim per pair, each synthetic input applied for one time unit.
+// It is the oracle the lane-packed SweepPairs must match bit for bit.
+func sweepPairsScalar(ad *Adder, params nbti.Params) []PairResult {
+	var out []PairResult
+	for i := 1; i <= NumSyntheticInputs; i++ {
+		for j := i + 1; j <= NumSyntheticInputs; j++ {
+			sim := circuit.NewStressSim(ad.Netlist())
+			sim.Apply(ad.SyntheticInput(i), 1)
+			sim.Apply(ad.SyntheticInput(j), 1)
+			rep := sim.Analyze(params)
+			out = append(out, PairResult{
+				I: i, J: j,
+				NarrowFullyStressed: rep.NarrowFullyStressed,
+				WorstEffectiveBias:  rep.WorstEffectiveBias,
+				Guardband:           rep.Guardband,
+			})
+		}
+	}
+	return out
+}
+
+// TestSweepPairsMatchesScalarOracle enforces the Figure 4 equivalence:
+// the lane-packed sweep must reproduce the scalar evaluator's 28
+// PairResults bit-identically (float equality, no tolerance).
+func TestSweepPairsMatchesScalarOracle(t *testing.T) {
+	params := nbti.DefaultParams()
+	for _, width := range []int{8, 32} {
+		ad := New(width, 0)
+		got := ad.SweepPairs(params)
+		want := sweepPairsScalar(ad, params)
+		if len(got) != len(want) {
+			t.Fatalf("width %d: %d pairs, want %d", width, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Errorf("width %d pair %s: vector %+v != scalar %+v",
+					width, want[k].Label(), got[k], want[k])
+			}
+		}
+	}
+}
+
+// guardbandScenarioScalar is the pre-vectorization Figure 5 aging loop:
+// per sample, one scalar Apply for the real slot and one per synthetic
+// injection.
+func guardbandScenarioScalar(ad *Adder, src OperandSource, realFraction float64, i, j, samples int, params nbti.Params) ScenarioResult {
+	sim := circuit.NewStressSim(ad.Netlist())
+	const scale = 1000
+	realDt := uint64(realFraction * scale)
+	idleDt := uint64(scale) - realDt
+	for s := 0; s < samples; s++ {
+		a, b, cin := src.NextOperands()
+		if realDt > 0 {
+			sim.Apply(ad.InputVector(a, b, cin), realDt)
+		}
+		if idleDt > 0 {
+			half := idleDt / 2
+			sim.Apply(ad.SyntheticInput(i), half)
+			sim.Apply(ad.SyntheticInput(j), idleDt-half)
+		}
+	}
+	rep := sim.Analyze(params)
+	return ScenarioResult{
+		RealFraction: realFraction,
+		Guardband:    rep.Guardband,
+		WorstBias:    rep.WorstEffectiveBias,
+	}
+}
+
+// TestGuardbandScenarioMatchesScalarOracle enforces the Figure 5
+// equivalence: batching real samples into lanes and aggregating the
+// constant synthetic injections must leave the report bit-identical to
+// the per-sample scalar loop, across utilizations and sample counts
+// (including non-multiples of 64 and the 0%/100% degenerate fractions).
+func TestGuardbandScenarioMatchesScalarOracle(t *testing.T) {
+	ad := New32()
+	params := nbti.DefaultParams()
+	for _, tc := range []struct {
+		frac    float64
+		samples int
+	}{
+		{1.0, 100}, {0.30, 130}, {0.21, 64}, {0.21, 65}, {0.11, 1}, {0.0, 70}, {0.215, 200},
+	} {
+		// Two sources with identical seeds: the vector path must consume
+		// operands in the same order as the scalar loop.
+		vecSrc := &biasedSource{rng: rand.New(rand.NewSource(9))}
+		refSrc := &biasedSource{rng: rand.New(rand.NewSource(9))}
+		got := ad.GuardbandScenario(vecSrc, tc.frac, 1, 8, tc.samples, params)
+		want := guardbandScenarioScalar(ad, refSrc, tc.frac, 1, 8, tc.samples, params)
+		if got.Guardband != want.Guardband || got.WorstBias != want.WorstBias {
+			t.Errorf("frac=%v samples=%d: vector (gb=%v bias=%v) != scalar (gb=%v bias=%v)",
+				tc.frac, tc.samples, got.Guardband, got.WorstBias, want.Guardband, want.WorstBias)
+		}
+		// Both paths must have drawn the same number of operands.
+		a1, b1, c1 := vecSrc.NextOperands()
+		a2, b2, c2 := refSrc.NextOperands()
+		if a1 != a2 || b1 != b2 || c1 != c2 {
+			t.Errorf("frac=%v samples=%d: operand streams diverged", tc.frac, tc.samples)
+		}
+	}
+}
+
+// TestAblationLoopEquivalence pins the bench_test ablation rework: the
+// 64-lane packed 21%-utilization loop with aggregated idle injection
+// must match the scalar per-sample loop bit for bit.
+func TestAblationLoopEquivalence(t *testing.T) {
+	ad := New32()
+	params := nbti.DefaultParams()
+	for _, idxs := range [][]int{{1}, {1, 8}, {1, 4, 5, 8}, {1, 2, 3, 4, 5, 6, 7, 8}} {
+		const samples = 120
+		vecRng := rand.New(rand.NewSource(11))
+		refRng := rand.New(rand.NewSource(11))
+
+		vec := circuit.NewStressSim(ad.Netlist())
+		ops := make([]Operands, 0, 64)
+		flush := func() {
+			if len(ops) > 0 {
+				vec.ApplyVec(ad.InputWords(ops), len(ops), 21)
+			}
+			ops = ops[:0]
+		}
+		for s := 0; s < samples; s++ {
+			ops = append(ops, Operands{A: uint64(vecRng.Uint32()), B: uint64(vecRng.Uint32())})
+			if len(ops) == 64 {
+				flush()
+			}
+		}
+		flush()
+		share := uint64(79 / len(idxs))
+		for _, k := range idxs {
+			vec.Apply(ad.SyntheticInput(k), share*samples)
+		}
+
+		ref := circuit.NewStressSim(ad.Netlist())
+		for s := 0; s < samples; s++ {
+			ref.Apply(ad.InputVector(uint64(refRng.Uint32()), uint64(refRng.Uint32()), false), 21)
+			for _, k := range idxs {
+				ref.Apply(ad.SyntheticInput(k), share)
+			}
+		}
+
+		if got, want := vec.Analyze(params), ref.Analyze(params); got != want {
+			t.Errorf("idxs=%v: vector %+v != scalar %+v", idxs, got, want)
+		}
+	}
+}

@@ -108,10 +108,15 @@ func (c *Cache) wayEligible(w int) bool {
 	return true
 }
 
-// touch moves way w to the MRU position of its set.
+// touch moves way w to the MRU position of its set. Most hits land on
+// the line that is already MRU (the MRU study measures ~90%), so that
+// case returns before any scan or shift.
 func (c *Cache) touch(set, w int) {
 	base := set * c.ways
-	pos := 0
+	if int(c.order[base]) == w {
+		return
+	}
+	pos := 1
 	for ; pos < c.ways; pos++ {
 		if int(c.order[base+pos]) == w {
 			break

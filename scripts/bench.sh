@@ -2,6 +2,11 @@
 # Runs the benchmark suite and archives the results as BENCH_<date>.json
 # so successive PRs accumulate a performance trajectory.
 #
+# The suite covers every paper figure/table plus the raw-throughput
+# benchmarks: pipeline (BenchmarkPipelineThroughput, BenchmarkRunBatch)
+# and the bit-parallel circuit stack (BenchmarkAdderEvalBatch adds/s,
+# BenchmarkStressApplyVec lane-applies/s).
+#
 # Usage: scripts/bench.sh [extra go test args...]
 #   e.g. scripts/bench.sh -benchtime 2s -count 3
 set -euo pipefail
