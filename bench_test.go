@@ -53,7 +53,7 @@ func BenchmarkFig4InputPairs(b *testing.B) {
 func BenchmarkFig5AdderGuardband(b *testing.B) {
 	ad := adder.New32()
 	params := nbti.DefaultParams()
-	src := trace.NewOperandStream([]*trace.Trace{trace.NewTrace(trace.SpecINT2000, 0, 4000)})
+	src := trace.NewOperandStream([]trace.Source{trace.Record(trace.SpecINT2000, 0, 4000).Cursor()})
 	var gb float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -65,14 +65,16 @@ func BenchmarkFig5AdderGuardband(b *testing.B) {
 
 // BenchmarkFig6RegfileBias runs the ISV register-file mechanism through
 // the pipeline and reports the worst-case integer bias (paper: 48.5%).
+// The trace is recorded once and replayed per iteration — the sweep
+// shape every multi-config experiment now has.
 func BenchmarkFig6RegfileBias(b *testing.B) {
 	cfg := pipeline.DefaultConfig()
 	cfg.EnableISV = true
-	tr := trace.NewTrace(trace.SpecINT2000, 1, 8000)
+	src := trace.Record(trace.SpecINT2000, 1, 8000).Cursor()
 	var worst float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := pipeline.Run(cfg, tr)
+		r := pipeline.Run(cfg, src)
 		worst = r.IntRF.WorstBias
 	}
 	b.ReportMetric(worst*100, "worstbias%")
@@ -92,8 +94,8 @@ func BenchmarkFig8SchedulerBias(b *testing.B) {
 // BenchmarkTable3CacheSchemes evaluates each inversion scheme on the
 // 32KB 8-way DL0 and reports its CPI loss (paper Table 3 row 1).
 func BenchmarkTable3CacheSchemes(b *testing.B) {
-	tr := trace.NewTrace(trace.Server, 1, 8000)
-	base := pipeline.Run(pipeline.DefaultConfig(), tr)
+	src := trace.Record(trace.Server, 1, 8000).Cursor()
+	base := pipeline.Run(pipeline.DefaultConfig(), src)
 	schemes := []struct {
 		name string
 		opt  cache.Options
@@ -114,7 +116,7 @@ func BenchmarkTable3CacheSchemes(b *testing.B) {
 			cfg.DL0Options = s.opt
 			var loss float64
 			for i := 0; i < b.N; i++ {
-				r := pipeline.Run(cfg, tr)
+				r := pipeline.Run(cfg, src)
 				loss = r.CPI/base.CPI - 1
 			}
 			b.ReportMetric(loss*100, "loss%")
@@ -134,7 +136,9 @@ func BenchmarkEfficiencyMetric(b *testing.B) {
 	b.ReportMetric(eff, "NBTIefficiency")
 }
 
-// BenchmarkPipelineThroughput measures raw simulator speed in uops/s.
+// BenchmarkPipelineThroughput measures raw simulator speed in uops/s
+// with the synthesizing generator in the loop (the pre-recording
+// baseline shape; compare BenchmarkPipelineReplayThroughput).
 func BenchmarkPipelineThroughput(b *testing.B) {
 	cfg := pipeline.DefaultConfig()
 	tr := trace.NewTrace(trace.Multimedia, 0, 10000)
@@ -146,13 +150,58 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "uops/s")
 }
 
+// BenchmarkPipelineReplayThroughput measures simulator speed in uops/s
+// when the trace is replayed from a packed recording: the synthesis cost
+// of BenchmarkPipelineThroughput is gone and only the core model is
+// timed.
+func BenchmarkPipelineReplayThroughput(b *testing.B) {
+	cfg := pipeline.DefaultConfig()
+	src := trace.Record(trace.Multimedia, 0, 10000).Cursor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipeline.Run(cfg, src)
+	}
+	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "uops/s")
+}
+
+// BenchmarkTraceRecord measures one-time synthesis-and-pack cost: one
+// 12000-uop trace recorded per iteration, reported as uops/s.
+func BenchmarkTraceRecord(b *testing.B) {
+	var rec *trace.Recording
+	for i := 0; i < b.N; i++ {
+		rec = trace.Record(trace.Multimedia, 1, 12000)
+	}
+	b.ReportMetric(float64(12000*b.N)/b.Elapsed().Seconds(), "uops/s")
+	b.ReportMetric(float64(rec.Bytes())/float64(rec.Len()), "B/uop")
+}
+
+// BenchmarkCursorReplay measures the replay fast path: one full pass
+// over a recorded 12000-uop stream per iteration, zero allocations.
+func BenchmarkCursorReplay(b *testing.B) {
+	src := trace.Record(trace.Multimedia, 1, 12000).Cursor()
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		for {
+			u, ok := src.NextUop()
+			if !ok {
+				break
+			}
+			sink ^= u.DstVal
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(12000*b.N)/b.Elapsed().Seconds(), "uops/s")
+}
+
 // BenchmarkRunBatch measures multi-trace scaling through the parallel
 // batch runner: the same 8-trace sweep with 1 worker and with one worker
 // per core. Aggregate uops/s should scale near-linearly with workers up
 // to the trace count (single-core machines report both the same).
 func BenchmarkRunBatch(b *testing.B) {
 	cfg := pipeline.DefaultConfig()
-	traces := trace.SampleTraces(5000, 70)
+	traces := trace.NewBank(5000, 70).Sources()
 	if len(traces) > 8 {
 		traces = traces[:8]
 	}
@@ -178,7 +227,7 @@ func BenchmarkRunBatch(b *testing.B) {
 // §5): sampling too rarely leaves per-bit noise, too often costs
 // nothing here but would cost sampling bandwidth in hardware.
 func BenchmarkAblationRINVPeriod(b *testing.B) {
-	tr := trace.NewTrace(trace.SpecINT2000, 2, 8000)
+	src := trace.Record(trace.SpecINT2000, 2, 8000).Cursor()
 	for _, period := range []uint64{64, 256, 1024, 4096} {
 		b.Run(benchName("period", int(period)), func(b *testing.B) {
 			cfg := pipeline.DefaultConfig()
@@ -186,7 +235,7 @@ func BenchmarkAblationRINVPeriod(b *testing.B) {
 			cfg.RINVPeriod = period
 			var worst float64
 			for i := 0; i < b.N; i++ {
-				r := pipeline.Run(cfg, tr)
+				r := pipeline.Run(cfg, src)
 				worst = r.IntRF.WorstBias
 			}
 			b.ReportMetric(worst*100, "worstbias%")
@@ -197,10 +246,10 @@ func BenchmarkAblationRINVPeriod(b *testing.B) {
 // BenchmarkAblationGranularity compares inversion granularities
 // (set/way/line) at K=50% on the same workload.
 func BenchmarkAblationGranularity(b *testing.B) {
-	tr := trace.NewTrace(trace.Multimedia, 2, 8000)
+	src := trace.Record(trace.Multimedia, 2, 8000).Cursor()
 	baseCfg := pipeline.DefaultConfig()
 	baseCfg.DL0Bytes = 8 * 1024 // pressured configuration so losses show
-	base := pipeline.Run(baseCfg, tr)
+	base := pipeline.Run(baseCfg, src)
 	for _, g := range []struct {
 		name   string
 		scheme cache.Scheme
@@ -214,7 +263,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 			cfg.DL0Options = cache.Options{Scheme: g.scheme, InvertRatio: 0.5, RotatePeriod: 2_000_000, Seed: 5}
 			var loss float64
 			for i := 0; i < b.N; i++ {
-				r := pipeline.Run(cfg, tr)
+				r := pipeline.Run(cfg, src)
 				loss = r.CPI/base.CPI - 1
 			}
 			b.ReportMetric(loss*100, "loss%")
@@ -225,17 +274,17 @@ func BenchmarkAblationGranularity(b *testing.B) {
 // BenchmarkAblationInvertRatio sweeps the fixed invert ratio K for the
 // line scheme: higher K balances wear better but costs more capacity.
 func BenchmarkAblationInvertRatio(b *testing.B) {
-	tr := trace.NewTrace(trace.SpecINT2000, 3, 8000)
+	src := trace.Record(trace.SpecINT2000, 3, 8000).Cursor()
 	baseCfg := pipeline.DefaultConfig()
 	baseCfg.DL0Bytes = 8 * 1024 // pressured configuration so losses show
-	base := pipeline.Run(baseCfg, tr)
+	base := pipeline.Run(baseCfg, src)
 	for _, k := range []int{30, 40, 50, 60, 70} {
 		b.Run(benchName("K", k), func(b *testing.B) {
 			cfg := baseCfg
 			cfg.DL0Options = cache.Options{Scheme: cache.SchemeLineFixed, InvertRatio: float64(k) / 100, Seed: 5}
 			var loss float64
 			for i := 0; i < b.N; i++ {
-				r := pipeline.Run(cfg, tr)
+				r := pipeline.Run(cfg, src)
 				loss = r.CPI/base.CPI - 1
 			}
 			b.ReportMetric(loss*100, "loss%")

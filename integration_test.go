@@ -119,7 +119,7 @@ func TestEndToEndPenelopeBeatsAlternatives(t *testing.T) {
 func TestAdderPlusWorkloadGuardband(t *testing.T) {
 	ad := adder.New32()
 	params := nbti.DefaultParams()
-	src := trace.NewOperandStream(trace.SampleTraces(3000, 150))
+	src := trace.NewOperandStream(trace.NewBank(3000, 150).Sources())
 	res := ad.GuardbandScenario(src, 0.21, 1, 8, 200, params)
 	if res.Guardband < 0.04 || res.Guardband > 0.08 {
 		t.Errorf("21%% utilization guardband = %.3f, want ≈ 0.058", res.Guardband)

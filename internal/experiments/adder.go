@@ -70,10 +70,10 @@ func Fig5(o Options) Fig5Result {
 	var res Fig5Result
 
 	// Measured utilizations on a representative slice of the workload.
-	// One trace set serves both utilization runs and the operand stream:
-	// every consumer (pipeline.Run, NewOperandStream) resets its traces
-	// before replaying, and the streams are deterministic from Reset.
-	traces := trace.SampleTraces(o.TraceLength, o.TraceStride*4)
+	// One recorded slice serves both utilization runs and the operand
+	// stream: every consumer replays fresh cursors over the same shared
+	// recordings, deterministic from Reset.
+	traces := o.sampleSources(4)
 	cfgP := pipeline.DefaultConfig()
 	cfgP.AdderPolicy = pipeline.AdderPriority
 	cfgU := pipeline.DefaultConfig()
@@ -98,7 +98,7 @@ func Fig5(o Options) Fig5Result {
 	// Aging scenarios at the paper's utilization points.
 	ad := adder32()
 	params := nbti.DefaultParams()
-	src := trace.NewOperandStream(traces)
+	src := trace.NewOperandStream(o.sampleSources(4))
 	samples := 400
 	for _, frac := range []float64{1.0, 0.30, 0.21, 0.11} {
 		res.Scenarios = append(res.Scenarios, ad.GuardbandScenario(src, frac, 1, 8, samples, params))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"penelope/internal/adder"
 	"penelope/internal/bpred"
 	"penelope/internal/nbti"
 	"penelope/internal/trace"
@@ -36,10 +35,10 @@ func Bpred(o Options) BpredResult {
 			cfg.RotatePeriod = 8
 		}
 		p := bpred.New(cfg)
-		for _, tr := range trace.SampleTraces(o.TraceLength, o.TraceStride*2) {
+		for _, src := range o.sampleSources(2) {
 			pc := uint64(0x1000)
 			for {
-				u, ok := tr.Next()
+				u, ok := src.NextUop()
 				if !ok {
 					break
 				}
@@ -85,8 +84,8 @@ type LatchResult struct {
 // reports how the §3.1 injection policy treats the latches themselves.
 func Latch(o Options) LatchResult {
 	o = o.normalized()
-	ad := adder.New32()
-	src := trace.NewOperandStream(trace.SampleTraces(o.TraceLength, o.TraceStride*4))
+	ad := adder32()
+	src := trace.NewOperandStream(o.sampleSources(4))
 	return LatchResult{
 		RealOnly:    ad.LatchStudy(src, 1.0, []int{1, 8}, 300).WorstBias,
 		SingleInput: ad.LatchStudy(src, 0.21, []int{1}, 300).WorstBias,

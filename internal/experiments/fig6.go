@@ -6,6 +6,7 @@ import (
 
 	"penelope/internal/pipeline"
 	"penelope/internal/stats"
+	"penelope/internal/trace"
 )
 
 // Fig6Result holds the register-file bit-bias series of paper Figure 6:
@@ -29,9 +30,18 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the workload through the pipeline with the register-file ISV
-// mechanism off and on, aggregating per-bit bias across traces.
+// mechanism off and on, aggregating per-bit bias across traces. The
+// workload comes from the shared recording bank; both sweeps replay the
+// same recorded streams.
 func Fig6(o Options) Fig6Result {
 	o = o.normalized()
+	return fig6(o.sources())
+}
+
+// fig6 is the driver body over an explicit source set, so the
+// equivalence tests can feed it generator-backed sources and require
+// bit-identical results to the recorded path.
+func fig6(traces []trace.Source) Fig6Result {
 	baseCfg := pipeline.DefaultConfig()
 	isvCfg := pipeline.DefaultConfig()
 	isvCfg.EnableISV = true
@@ -45,7 +55,6 @@ func Fig6(o Options) Fig6Result {
 	// Both sweeps fan out over the worker pool; accumulation stays in
 	// trace order so the aggregated floats are bit-identical to a serial
 	// run.
-	traces := o.traces()
 	baseRes := pipeline.RunBatch(baseCfg, traces, 0)
 	isvRes := pipeline.RunBatch(isvCfg, traces, 0)
 	for ti := range traces {

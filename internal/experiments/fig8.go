@@ -23,10 +23,16 @@ type Fig8Result struct {
 // Fig8 profiles the scheduler on a slice of the workload to build the
 // per-field technique plan (the paper profiles K on 100 of the 531
 // traces), then evaluates baseline and protected schedulers on the
-// remaining traces.
+// remaining traces. All three sweeps replay the shared recording bank.
 func Fig8(o Options) Fig8Result {
 	o = o.normalized()
-	traces := o.traces()
+	return fig8(o.sources())
+}
+
+// fig8 is the driver body over an explicit source set, so the
+// equivalence tests can feed it generator-backed sources and require
+// bit-identical results to the recorded path.
+func fig8(traces []trace.Source) Fig8Result {
 	profileN := len(traces) / 5
 	if profileN < 1 {
 		profileN = 1
@@ -52,7 +58,7 @@ func Fig8(o Options) Fig8Result {
 // run on fresh cores. The runs fan out over the batch runner; the
 // averaging happens in trace order, keeping the floats bit-identical to
 // a serial sweep.
-func aggregateSchedReports(cfg pipeline.Config, traces []*trace.Trace) sched.Report {
+func aggregateSchedReports(cfg pipeline.Config, traces []trace.Source) sched.Report {
 	var agg sched.Report
 	n := 0
 	for _, res := range pipeline.RunBatch(cfg, traces, 0) {

@@ -7,7 +7,6 @@ import (
 	"penelope/internal/cache"
 	"penelope/internal/pipeline"
 	"penelope/internal/stats"
-	"penelope/internal/trace"
 )
 
 // CacheConfig identifies one row group of paper Table 3.
@@ -61,7 +60,10 @@ type Table3Result struct {
 // performance loss across the workload.
 func Table3(o Options) Table3Result {
 	o = o.normalized()
-	traces := o.traces()
+	// One recorded workload serves all four schemes of all nine
+	// configurations plus the combined run: 37 replays of a single
+	// synthesis pass.
+	traces := o.sources()
 	var res Table3Result
 	for _, cc := range Table3Configs() {
 		row := Table3Row{Config: cc}
@@ -174,7 +176,7 @@ func MRUStudy(o Options, w io.Writer) {
 	cfg := pipeline.DefaultConfig()
 	ranks := make([]float64, cfg.DL0Ways)
 	n := 0.0
-	for _, r := range pipeline.RunBatch(cfg, trace.SampleTraces(o.TraceLength, o.TraceStride*2), 0) {
+	for _, r := range pipeline.RunBatch(cfg, o.sampleSources(2), 0) {
 		var hits uint64
 		for _, c := range r.DL0Stats.HitWayRank {
 			hits += c

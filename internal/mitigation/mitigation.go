@@ -36,6 +36,9 @@ const (
 	// TechUncovered marks a bit that can never be repaired because its
 	// contents are always live (the valid bit).
 	TechUncovered
+	// NumTechniques counts the techniques, for dense per-technique
+	// arrays.
+	NumTechniques
 )
 
 var techniqueNames = map[Technique]string{

@@ -8,48 +8,42 @@ import (
 	"penelope/internal/trace"
 )
 
-// RunBatch runs every trace through an independent core built from cfg,
+// RunBatch runs every source through an independent core built from cfg,
 // fanning the work out over a pool of workers, and returns the results in
-// trace order. Each Run is completely independent — cores share no state
-// and traces are deterministic streams — so the result slice is
-// bit-identical to calling Run serially on each trace, regardless of the
+// source order. Each Run is completely independent — cores share no state
+// and sources are deterministic streams — so the result slice is
+// bit-identical to calling Run serially on each source, regardless of the
 // worker count or scheduling order.
 //
-// workers <= 0 uses GOMAXPROCS. Traces that appear more than once in the
-// slice are cloned so no two workers ever share a stream.
-func RunBatch(cfg Config, traces []*trace.Trace, workers int) []Result {
+// workers <= 0 uses GOMAXPROCS. Sources are stateful streams, so the
+// parallel path gives every job its own Fork: replay cursors fork into
+// fresh cursors over the one shared immutable recording (no copy, no
+// re-synthesis), generator traces fork into independent generators. The
+// same source may therefore appear any number of times in the slice.
+func RunBatch(cfg Config, sources []trace.Source, workers int) []Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	results := make([]Result, len(traces))
-	if len(traces) == 0 {
+	results := make([]Result, len(sources))
+	if len(sources) == 0 {
 		return results
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(traces) {
-		workers = len(traces)
+	if workers > len(sources) {
+		workers = len(sources)
 	}
 	if workers == 1 {
-		for i, tr := range traces {
-			results[i] = Run(cfg, tr)
+		for i, src := range sources {
+			results[i] = Run(cfg, src)
 		}
 		return results
 	}
 
-	// Traces are stateful streams: a pointer appearing twice would be
-	// Reset and consumed by two workers at once. Clone duplicates so
-	// every job owns its stream.
-	jobs := make([]*trace.Trace, len(traces))
-	seen := make(map[*trace.Trace]bool, len(traces))
-	for i, tr := range traces {
-		if seen[tr] {
-			tr = tr.Clone()
-		} else {
-			seen[tr] = true
-		}
-		jobs[i] = tr
+	jobs := make([]trace.Source, len(sources))
+	for i, src := range sources {
+		jobs[i] = src.Fork()
 	}
 
 	var next atomic.Int64

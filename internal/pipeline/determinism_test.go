@@ -49,28 +49,32 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 // TestRunBatchMatchesSerial requires RunBatch to return, in order, the
-// bit-identical Results of serial Run calls — for any worker count, and
-// even when the same trace pointer appears twice in the batch.
+// bit-identical Results of serial Run calls — for any worker count, even
+// when the same source appears twice in the batch, and for a mix of
+// generator traces and replay cursors (aliased cursors share one
+// immutable recording).
 func TestRunBatchMatchesSerial(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.EnableISV = true
-	shared := trace.NewTrace(trace.SpecINT2000, 3, 5000)
-	traces := []*trace.Trace{
+	sharedTrace := trace.NewTrace(trace.SpecINT2000, 3, 5000)
+	sharedCursor := trace.Record(trace.Server, 1, 5000).Cursor()
+	sources := []trace.Source{
 		trace.NewTrace(trace.SpecINT2000, 0, 5000),
-		trace.NewTrace(trace.Multimedia, 2, 5000),
-		shared,
-		trace.NewTrace(trace.Server, 1, 5000),
-		shared, // aliased on purpose: RunBatch must clone it
+		trace.Record(trace.Multimedia, 2, 5000).Cursor(),
+		sharedTrace,
+		sharedCursor,
+		sharedTrace, // aliased on purpose: RunBatch must fork it
+		sharedCursor,
 		trace.NewTrace(trace.SpecFP2000, 4, 5000),
 	}
 
-	want := make([]Result, len(traces))
-	for i, tr := range traces {
-		want[i] = Run(cfg, tr)
+	want := make([]Result, len(sources))
+	for i, src := range sources {
+		want[i] = Run(cfg, src)
 	}
 
 	for _, workers := range []int{0, 1, 3, 16} {
-		got := RunBatch(cfg, traces, workers)
+		got := RunBatch(cfg, sources, workers)
 		if len(got) != len(want) {
 			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), len(want))
 		}
@@ -79,6 +83,23 @@ func TestRunBatchMatchesSerial(t *testing.T) {
 				t.Errorf("workers=%d: result %d (%s) differs from serial run", workers, i, want[i].Trace)
 			}
 		}
+	}
+}
+
+// TestRunRecordingMatchesGenerator is the pipeline-level half of the
+// record/replay equivalence guarantee: for every hot-path configuration,
+// Run over a replay cursor must return the bit-identical Result — every
+// float, every per-bit series — as Run over the synthesizing generator.
+func TestRunRecordingMatchesGenerator(t *testing.T) {
+	rec := trace.Record(trace.Server, 2, 6000)
+	for name, cfg := range determinismConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			gen := Run(cfg, trace.NewTrace(trace.Server, 2, 6000))
+			rep := Run(cfg, rec.Cursor())
+			if !reflect.DeepEqual(gen, rep) {
+				t.Errorf("replay Result differs from generator Result:\n%+v\nvs\n%+v", rep, gen)
+			}
+		})
 	}
 }
 

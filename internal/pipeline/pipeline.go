@@ -65,13 +65,17 @@ type core struct {
 	frontStallUntil uint64
 }
 
-// Run simulates one trace through a core built from cfg and returns the
-// measured statistics. The trace is reset first; runs are deterministic.
-func Run(cfg Config, tr *trace.Trace) Result {
+// Run simulates one uop source through a core built from cfg and returns
+// the measured statistics. The source is reset first; runs are
+// deterministic. Sources are either synthesizing generators
+// (*trace.Trace) or zero-allocation replay cursors over a shared
+// recording (*trace.Cursor); sweeping many configurations over the same
+// workload should record once and hand each Run a cursor.
+func Run(cfg Config, src trace.Source) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	tr.Reset()
+	src.Reset()
 	c := &core{
 		cfg: cfg,
 		intRF: regfile.New(regfile.Config{
@@ -111,11 +115,11 @@ func Run(cfg Config, tr *trace.Trace) Result {
 	}
 
 	for {
-		u, ok := tr.Next()
+		u, ok := src.NextUop()
 		if !ok {
 			break
 		}
-		c.dispatchUop(&u)
+		c.dispatchUop(u)
 	}
 	end := c.w.drain()
 	if end < c.cycle {
@@ -127,7 +131,7 @@ func Run(cfg Config, tr *trace.Trace) Result {
 	c.sch.Finish(end)
 
 	res := Result{
-		Trace:  tr.Name(),
+		Trace:  src.Name(),
 		Uops:   c.dispatched,
 		Cycles: end,
 		IntRF:  c.intRF.Report(),

@@ -57,7 +57,9 @@ type entry struct {
 	busy       bool
 	value      uint64
 	ext        uint64 // bits above 64
-	lastTouch  uint64 // cycle of last value change / state change
+	lastTouch  uint64 // cycle the pending segment starts
+	pendBusy   uint64 // pending busy cycles under the current value
+	pendFree   uint64 // pending free cycles under the current value
 	invContent bool   // holds RINV repair contents (only while free)
 }
 
@@ -185,25 +187,44 @@ func (f *File) takePortRepair(cycle uint64) bool {
 	return true
 }
 
-// flushEntry accumulates the bias interval of entry i up to cycle.
-func (f *File) flushEntry(i int, cycle uint64) {
+// touchEntry closes the current segment of entry i at cycle, crediting
+// it to the pending busy or free counter of the register's value-run.
+// Allocate and Release only move this busy/free boundary; the per-bit
+// expansion waits until the stored value changes, so a register that is
+// written once and recycled keeps one long run per value.
+func (f *File) touchEntry(i int, cycle uint64) {
 	e := &f.entries[i]
 	if cycle <= e.lastTouch {
 		return
 	}
 	dt := cycle - e.lastTouch
 	if e.busy {
-		f.biasLo.Observe(e.value, dt)
-		if f.biasExt != nil {
-			f.biasExt.Observe(e.ext, dt)
-		}
+		e.pendBusy += dt
 	} else {
-		f.biasLo.ObserveFree(e.value, dt)
-		if f.biasExt != nil {
-			f.biasExt.ObserveFree(e.ext, dt)
-		}
+		e.pendFree += dt
 	}
 	e.lastTouch = cycle
+}
+
+// flushEntry expands the pending value-run of entry i into the bias
+// trackers. Callers invoke it just before the stored value changes.
+func (f *File) flushEntry(i int, cycle uint64) {
+	f.touchEntry(i, cycle)
+	e := &f.entries[i]
+	if e.pendBusy > 0 {
+		f.biasLo.Observe(e.value, e.pendBusy)
+		if f.biasExt != nil {
+			f.biasExt.Observe(e.ext, e.pendBusy)
+		}
+		e.pendBusy = 0
+	}
+	if e.pendFree > 0 {
+		f.biasLo.ObserveFree(e.value, e.pendFree)
+		if f.biasExt != nil {
+			f.biasExt.ObserveFree(e.ext, e.pendFree)
+		}
+		e.pendFree = 0
+	}
 }
 
 // Allocate claims a free register at the given cycle. ok is false when
@@ -220,7 +241,7 @@ func (f *File) Allocate(cycle uint64) (reg int, ok bool) {
 		f.freeList = f.freeList[:len(f.freeList)-f.freeHead]
 		f.freeHead = 0
 	}
-	f.flushEntry(reg, cycle)
+	f.touchEntry(reg, cycle)
 	f.entries[reg].busy = true
 	f.busyCount++
 	return reg, true
@@ -267,12 +288,14 @@ func (f *File) Release(reg int, cycle uint64) {
 	if !e.busy {
 		panic(fmt.Sprintf("regfile %s: double release of register %d", f.cfg.Name, reg))
 	}
-	f.flushEntry(reg, cycle)
+	f.touchEntry(reg, cycle)
 	e.busy = false
 	f.busyCount--
 	f.releases++
 	if f.cfg.EnableISV && f.invertedTime*2 <= f.totalCellTime {
 		if f.takePortRepair(cycle) {
+			// The repair overwrites the cell: expand its run first.
+			f.flushEntry(reg, cycle)
 			e.value = f.rinvLo.Value()
 			if f.rinvExt != nil {
 				e.ext = f.rinvExt.Value()
@@ -334,10 +357,13 @@ func (f *File) Report() Report {
 		RepairDiscarded:  f.repairDiscarded,
 		Releases:         f.releases,
 	}
-	r.Biases = append(r.Biases, f.biasLo.Biases()...)
+	// One exactly-sized backing array for the full bit series: the report
+	// is built once per run per file, and the append-of-append pattern
+	// here used to churn three allocations per call.
+	r.Biases = f.biasLo.AppendBiases(make([]float64, 0, f.cfg.Bits))
 	worst := f.biasLo.WorstCellBias()
 	if f.biasExt != nil {
-		r.Biases = append(r.Biases, f.biasExt.Biases()...)
+		r.Biases = f.biasExt.AppendBiases(r.Biases)
 		if w := f.biasExt.WorstCellBias(); w > worst {
 			worst = w
 		}

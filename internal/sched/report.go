@@ -76,6 +76,7 @@ func (r Report) String() string {
 // dominant technique.
 func (s *Scheduler) Report() Report {
 	r := Report{
+		Fields:           make([]FieldReport, 0, NumFields),
 		EntryOccupancy:   s.occ.Average(),
 		DataOccupancy:    s.dataOcc.Average(),
 		PortAvailability: s.portStats.Availability(),
@@ -83,6 +84,9 @@ func (s *Scheduler) Report() Report {
 		RepairWrites:     s.repairWrites,
 		RepairDiscarded:  s.repairDiscarded,
 	}
+	// One backing array per field for its two bit series, sized up front:
+	// Report runs once per pipeline run, and the per-field appends were a
+	// measurable slice of the Fig 8 sweep's allocations.
 	for f := FieldID(0); f < NumFields; f++ {
 		spec := fieldSpecs[f]
 		fr := FieldReport{ID: f, Name: spec.Name, Bits: spec.Bits}
@@ -94,11 +98,13 @@ func (s *Scheduler) Report() Report {
 		if total := b.TotalTime(); total > 0 {
 			fr.Occupancy = float64(b.BusyTime()) / float64(total)
 		}
-		fr.Biases = b.Biases()
-		fr.BusyBias = make([]float64, spec.Bits)
+		series := make([]float64, 0, 2*spec.Bits)
+		series = b.AppendBiases(series)
 		for i := 0; i < spec.Bits; i++ {
-			fr.BusyBias[i] = b.BusyZeroBias(i)
+			series = append(series, b.BusyZeroBias(i))
 		}
+		fr.Biases = series[:spec.Bits:spec.Bits]
+		fr.BusyBias = series[spec.Bits:]
 		fr.WorstBias = b.WorstCellBias()
 		if s.cfg.Plan != nil {
 			fr.Technique = s.cfg.Plan.Technique(f)

@@ -43,9 +43,11 @@ type Plan struct {
 // Technique returns the dominant technique of a field (the technique of
 // the majority of its bits), for reporting. Ties break toward the
 // technique of the lowest bit so the answer is deterministic (a map
-// iteration here once made tied fields flip between runs).
+// iteration here once made tied fields flip between runs). Counting uses
+// a dense per-technique array: Technique runs once per field per Report,
+// and the map it used to allocate showed up in the sweep profiles.
 func (p *Plan) Technique(id FieldID) mitigation.Technique {
-	counts := map[mitigation.Technique]int{}
+	var counts [mitigation.NumTechniques]int
 	best, bestN := mitigation.TechNone, 0
 	for _, bp := range p.Fields[id] {
 		counts[bp.Technique]++
@@ -54,6 +56,39 @@ func (p *Plan) Technique(id FieldID) mitigation.Technique {
 		}
 	}
 	return best
+}
+
+// repairProg is one field's repair plan compiled to bit masks. Bits
+// outside every mask are ALL0: they repair to "0" and need no work.
+type repairProg struct {
+	present bool   // the plan covers this field
+	ones    uint64 // ALL1 bits: written to "1" on every repair
+	stale   uint64 // self-balanced/uncovered bits: keep current contents
+	isv     uint64 // ISV bits: RINV contents while inverting, else stale
+	kbits   []kRepairBit
+}
+
+// kRepairBit is one ALL1-K%/ALL0-K% bit; Tick must run once per repair
+// in bit order to advance the shared duty counter exactly as the
+// uncompiled per-bit loop did.
+type kRepairBit struct {
+	mask uint64 // 1 << bit position
+	ctr  *mitigation.DutyCounter
+	zero bool // ALL0-K%: repair level is the counter's complement
+}
+
+// valueTableBits bounds the field width accounted through dense
+// per-value time tables: the 12-bit opcode is the widest narrow field,
+// and 2·2¹²·8 B = 64 KB per scheduler keeps the tables cheap to zero.
+const valueTableBits = 12
+
+// fieldRun is the pending accounting run of one (slot, field) pair: the
+// cycles accrued under the field's current value, split by the busy-live
+// state they were observed in.
+type fieldRun struct {
+	last uint64 // cycle the pending segment starts
+	busy uint64 // pending busy-live cycles under the current value
+	free uint64 // pending free cycles under the current value
 }
 
 type entry struct {
@@ -104,15 +139,27 @@ type Scheduler struct {
 	freeList []int
 	freeHead int
 
-	// Per-field aggregated bias trackers. lastTouch[slot][f] is the start
-	// of the current run of (slot, f): the interval since then during
-	// which the field's value and busy/live state were unchanged. Runs
-	// are expanded into the bias trackers only when a mutation actually
-	// changes the value or the effective (busy && live) state, so a field
-	// that keeps its contents across dispatches, issues and releases is
-	// accounted as one long interval instead of one per event.
-	bias      [NumFields]*stats.BitBias
-	lastTouch [][NumFields]uint64
+	// Per-field aggregated bias trackers. runs[slot][f] carries the
+	// pending value-run of (slot, f): the busy-live and free cycles the
+	// field has accrued under its current value since the last expansion.
+	// State transitions (dispatch, issue, release) merely move the
+	// boundary between the two pending counters; the run is expanded into
+	// the bias tracker only when the stored value actually changes, so a
+	// field that keeps its contents across whole lifecycles — latencies,
+	// flags, stale data — is accounted as one long interval instead of
+	// one per event. The totals are identical (Observe is additive over
+	// equal-value intervals) and the per-bit expansion runs a fraction as
+	// often.
+	bias [NumFields]*stats.BitBias
+	runs [][NumFields]fieldRun
+	// valueTime[f] aggregates expanded runs per stored value for narrow
+	// fields (width ≤ valueTableBits): slot 2v holds busy time, 2v+1
+	// free time. Narrow fields cycle through a handful of values
+	// (latencies, ports, opcodes, tags), so almost every expansion is
+	// one indexed add; the per-bit Observe walk happens once per
+	// distinct value at Finish. Wide fields (SRC data, immediate) keep
+	// the direct path — their value space is too large to table.
+	valueTime [NumFields][]uint64
 
 	occ       *stats.Occupancy
 	dataOcc   *stats.Occupancy // occupancy of the SRC1 data field cells
@@ -138,6 +185,13 @@ type Scheduler struct {
 	// Duty counters per distinct K, lazily created.
 	duty map[int]*mitigation.DutyCounter
 
+	// repair holds the plan compiled into per-field mask programs, so
+	// the per-release repair path is a handful of word operations
+	// instead of a per-bit technique switch (the switch dominated the
+	// Fig 8 sweep profile). Only the ALL1-K%/ALL0-K% bits keep a per-bit
+	// walk, because each Tick advances shared duty-counter state.
+	repair [NumFields]repairProg
+
 	repairWrites    uint64
 	repairDiscarded uint64
 	dispatches      uint64
@@ -151,7 +205,7 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:       cfg,
 		entries:   make([]entry, cfg.Entries),
-		lastTouch: make([][NumFields]uint64, cfg.Entries),
+		runs:      make([][NumFields]fieldRun, cfg.Entries),
 		occ:       stats.NewOccupancy(cfg.Entries),
 		dataOcc:   stats.NewOccupancy(cfg.Entries),
 		portStats: stats.NewUtilization(cfg.AllocPorts),
@@ -160,6 +214,9 @@ func New(cfg Config) *Scheduler {
 	for f := FieldID(0); f < NumFields; f++ {
 		s.bias[f] = stats.NewBitBias(fieldSpecs[f].Bits)
 		s.rinv[f] = mitigation.NewRINV(fieldSpecs[f].Bits, cfg.RINVPeriod)
+		if fieldSpecs[f].Bits <= valueTableBits {
+			s.valueTime[f] = make([]uint64, 2<<uint(fieldSpecs[f].Bits))
+		}
 	}
 	// SRC1/SRC2 data share one clock; every other field has its own.
 	shared := &isvClock{cells: 2 * cfg.Entries}
@@ -175,7 +232,41 @@ func New(cfg Config) *Scheduler {
 	for i := 0; i < cfg.Entries; i++ {
 		s.freeList = append(s.freeList, i)
 	}
+	if cfg.Plan != nil {
+		s.compilePlan()
+	}
 	return s
+}
+
+// compilePlan folds the plan's per-bit techniques into the repair mask
+// programs. Duty counters are resolved here (shared per K exactly like
+// the lazy map lookups were) so the repair path never hashes.
+func (s *Scheduler) compilePlan() {
+	for f := FieldID(0); f < NumFields; f++ {
+		plans := s.cfg.Plan.Fields[f]
+		if len(plans) == 0 {
+			continue
+		}
+		p := &s.repair[f]
+		p.present = true
+		for bit, bp := range plans {
+			m := uint64(1) << uint(bit)
+			switch bp.Technique {
+			case mitigation.TechALL1:
+				p.ones |= m
+			case mitigation.TechALL0:
+				// Repairs to "0": no mask contributes the bit.
+			case mitigation.TechALL1K:
+				p.kbits = append(p.kbits, kRepairBit{mask: m, ctr: s.dutyFor(bp.K)})
+			case mitigation.TechALL0K:
+				p.kbits = append(p.kbits, kRepairBit{mask: m, ctr: s.dutyFor(bp.K), zero: true})
+			case mitigation.TechISV:
+				p.isv |= m
+			default: // self-balanced, uncovered, unclassified: keep stale
+				p.stale |= m
+			}
+		}
+	}
 }
 
 // Config returns the scheduler configuration.
@@ -221,26 +312,51 @@ func (s *Scheduler) takePort(cycle uint64, repair bool) bool {
 	return true
 }
 
-// flushField expands the pending run of (slot, field) into the bias
-// tracker, accounting the interval since the run began up to cycle under
-// the field's current value and busy/live state. Callers invoke it just
-// before a mutation that changes either; a mutation that leaves both
-// unchanged simply extends the run and must not flush (the totals are
-// identical either way — Observe is additive over equal-value intervals —
-// but one long interval is far cheaper than many short ones).
-func (s *Scheduler) flushField(slot int, f FieldID, cycle uint64) {
-	last := s.lastTouch[slot][f]
-	if cycle <= last {
+// touchField closes the current segment of (slot, field) at cycle,
+// crediting it to the pending busy or free counter of the field's
+// value-run. Callers invoke it just before a busy/live state change;
+// the per-bit expansion is deferred until the value itself changes.
+func (s *Scheduler) touchField(slot int, f FieldID, cycle uint64) {
+	r := &s.runs[slot][f]
+	if cycle <= r.last {
 		return
 	}
-	dt := cycle - last
+	dt := cycle - r.last
 	e := &s.entries[slot]
 	if e.busy && e.live[f] {
-		s.bias[f].Observe(e.values[f], dt)
+		r.busy += dt
 	} else {
-		s.bias[f].ObserveFree(e.values[f], dt)
+		r.free += dt
 	}
-	s.lastTouch[slot][f] = cycle
+	r.last = cycle
+}
+
+// flushField expands the pending value-run of (slot, field) into the
+// field's value table (narrow fields) or bias tracker (wide fields).
+// Callers invoke it just before a mutation that changes the stored
+// value; state-only mutations use touchField and let the run keep
+// accruing.
+func (s *Scheduler) flushField(slot int, f FieldID, cycle uint64) {
+	s.touchField(slot, f, cycle)
+	r := &s.runs[slot][f]
+	if r.busy == 0 && r.free == 0 {
+		return
+	}
+	v := s.entries[slot].values[f]
+	if t := s.valueTime[f]; t != nil {
+		t[2*v] += r.busy
+		t[2*v+1] += r.free
+		r.busy, r.free = 0, 0
+		return
+	}
+	if r.busy > 0 {
+		s.bias[f].Observe(v, r.busy)
+		r.busy = 0
+	}
+	if r.free > 0 {
+		s.bias[f].ObserveFree(v, r.free)
+		r.free = 0
+	}
 }
 
 func (s *Scheduler) flushAll(slot int, cycle uint64) {
@@ -299,20 +415,28 @@ func (s *Scheduler) Dispatch(d *Dispatch, cycle uint64) (slot int, ok bool) {
 			e.live[f] = false
 			continue
 		}
-		// Value and state change: close the field's free run first.
-		s.flushField(slot, f, cycle)
+		// State always changes (free → busy-live); the per-bit expansion
+		// is only needed when the incoming data differs from the cell's
+		// current contents — redispatching an equal value (zero results,
+		// repeated latencies and flags) just extends the value-run.
+		v := fieldValue(d, f)
+		if v != e.values[f] {
+			s.flushField(slot, f, cycle)
+			e.values[f] = v
+		} else {
+			s.touchField(slot, f, cycle)
+		}
 		e.live[f] = true
 		if e.invContent[f] {
 			// Real data overwrites repair contents.
 			e.invContent[f] = false
 			s.isv[f].invertedCells--
 		}
-		e.values[f] = fieldValue(d, f)
 		// Sample write-port data into the RINVs (§4.5: "Sampled values
 		// ... can be taken from the register file when read or from
 		// bypasses ... immediate values are taken directly from the
 		// instruction").
-		s.rinv[f].Offer(e.values[f], cycle)
+		s.rinv[f].Offer(v, cycle)
 	}
 	e.busy = true
 	e.issued = false
@@ -357,8 +481,10 @@ func (s *Scheduler) Issue(slot int, cycle uint64) {
 	for _, f := range dataFields {
 		// Only fields that actually held captured data change state
 		// (busy-live → free); dead data cells keep their free run going.
+		// The value survives the issue, so the run is touched, not
+		// expanded.
 		if e.live[f] {
-			s.flushField(slot, f, cycle)
+			s.touchField(slot, f, cycle)
 			e.live[f] = false
 		}
 	}
@@ -383,11 +509,12 @@ func (s *Scheduler) Release(slot int, cycle uint64) {
 	if !e.busy {
 		panic("sched: double release")
 	}
-	// Close the runs of the live fields (busy-live → free); dead fields
-	// keep value and free state, so their runs extend across the release.
+	// Close the segments of the live fields (busy-live → free); dead
+	// fields keep value and free state, so their runs extend across the
+	// release. Values survive the release, so nothing expands here.
 	for f := FieldID(0); f < NumFields; f++ {
 		if e.live[f] {
-			s.flushField(slot, f, cycle)
+			s.touchField(slot, f, cycle)
 		}
 	}
 	e.busy = false
@@ -396,7 +523,9 @@ func (s *Scheduler) Release(slot int, cycle uint64) {
 	}
 	s.busyCount--
 	// The valid bit physically drops to 0 the moment the slot frees;
-	// that is its unprotectable duty cycle.
+	// that is its unprotectable duty cycle — a real value change, so its
+	// pending run expands first.
+	s.flushField(slot, FieldValid, cycle)
 	e.values[FieldValid] = 0
 	if s.cfg.Plan != nil {
 		if s.takePort(cycle, true) {
@@ -415,47 +544,34 @@ func (s *Scheduler) Release(slot int, cycle uint64) {
 }
 
 // repairField writes the plan's repair value into a freed field, closing
-// the field's pending run first when the value actually changes.
+// the field's pending run first when the value actually changes. The
+// compiled mask program assembles the value word-at-a-time; only the
+// K% bits tick their duty counters individually, in bit order, so the
+// shared counter state advances exactly as the per-bit loop did.
 func (s *Scheduler) repairField(slot int, f FieldID, cycle uint64) {
-	plans := s.cfg.Plan.Fields[f]
-	if len(plans) == 0 {
+	p := &s.repair[f]
+	if !p.present {
 		return
 	}
 	e := &s.entries[slot]
 	clk := s.isv[f]
 	invert := clk.wantInvert()
-	var v uint64
-	wroteInverted := false
-	for bit, bp := range plans {
-		var level bool
-		switch bp.Technique {
-		case mitigation.TechALL1:
-			level = true
-		case mitigation.TechALL0:
-			level = false
-		case mitigation.TechALL1K:
-			level = s.dutyFor(bp.K).Tick()
-		case mitigation.TechALL0K:
-			level = !s.dutyFor(bp.K).Tick()
-		case mitigation.TechISV:
-			if invert {
-				level = s.rinv[f].Value()&(1<<uint(bit)) != 0
-				wroteInverted = true
-			} else {
-				level = e.values[f]&(1<<uint(bit)) != 0 // keep stale
-			}
-		default:
-			level = e.values[f]&(1<<uint(bit)) != 0 // self-balanced: stale
-		}
-		if level {
-			v |= 1 << uint(bit)
+	v := e.values[f]&p.stale | p.ones
+	if invert {
+		v |= s.rinv[f].Value() & p.isv
+	} else {
+		v |= e.values[f] & p.isv // keep stale
+	}
+	for _, kb := range p.kbits {
+		if kb.ctr.Tick() != kb.zero {
+			v |= kb.mask
 		}
 	}
 	if v != e.values[f] {
 		s.flushField(slot, f, cycle)
 		e.values[f] = v
 	}
-	if wroteInverted && !e.invContent[f] {
+	if invert && p.isv != 0 && !e.invContent[f] {
 		e.invContent[f] = true
 		clk.invertedCells++
 	}
@@ -473,10 +589,28 @@ func (s *Scheduler) dutyFor(k float64) *mitigation.DutyCounter {
 	return c
 }
 
-// Finish closes all accounting at the end cycle.
+// Finish closes all accounting at the end cycle: every pending run is
+// expanded, and the narrow fields' value tables drain into the bias
+// trackers — one Observe per distinct value ever held.
 func (s *Scheduler) Finish(cycle uint64) {
 	s.advance(cycle)
 	for i := range s.entries {
 		s.flushAll(i, cycle)
+	}
+	for f := FieldID(0); f < NumFields; f++ {
+		t := s.valueTime[f]
+		if t == nil {
+			continue
+		}
+		for v := 0; v < len(t); v += 2 {
+			if t[v] > 0 {
+				s.bias[f].Observe(uint64(v/2), t[v])
+				t[v] = 0
+			}
+			if t[v+1] > 0 {
+				s.bias[f].ObserveFree(uint64(v/2), t[v+1])
+				t[v+1] = 0
+			}
+		}
 	}
 }

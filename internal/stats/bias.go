@@ -11,13 +11,24 @@ import "math/bits"
 // for dt cycles. ObserveFree(dt) states the tracked cell was unoccupied
 // for dt cycles; free time is accounted separately so callers can compute
 // bias over busy time only, or over total time with an assumed idle value.
+// Internally the tracker counts the cycles each bit held "1" and walks
+// whichever side of the value is sparser: the set bits for the
+// workload's zero-biased data, the zero bits (with a subtractive dense
+// credit) for ones-dense values like ISV-inverted repair contents. Every
+// interval therefore costs at most width/2 counter updates, and zero
+// time falls out exactly as total time minus one time. The counters are
+// exact under uint64 modular arithmetic: a dense interval stores
+// trueOnes-dt per zero bit and dt in the dense scalar, which the readers
+// re-add, so wraparound cancels.
 type BitBias struct {
 	bits      int
 	mask      uint64   // low `bits` set: the tracked positions
-	zeroBusy  []uint64 // cycles each bit held "0" while the entry was busy
+	oneBusy   []uint64 // cycles each bit held "1" while busy, minus denseBusy
 	busyTime  uint64   // total busy cycles observed
 	freeTime  uint64   // total free cycles observed
-	zeroFree  []uint64 // cycles each bit held "0" while the entry was free
+	oneFree   []uint64 // cycles each bit held "1" while free, minus denseFree
+	denseBusy uint64   // busy cycles credited to every bit at read time
+	denseFree uint64   // free cycles credited to every bit at read time
 	intervals uint64   // number of Observe calls, for diagnostics
 }
 
@@ -28,23 +39,32 @@ func NewBitBias(bits int) *BitBias {
 		panic("stats: BitBias width must be in [1, 64]")
 	}
 	return &BitBias{
-		bits:     bits,
-		mask:     ^uint64(0) >> uint(64-bits),
-		zeroBusy: make([]uint64, bits),
-		zeroFree: make([]uint64, bits),
+		bits:    bits,
+		mask:    ^uint64(0) >> uint(64-bits),
+		oneBusy: make([]uint64, bits),
+		oneFree: make([]uint64, bits),
 	}
 }
 
 // Bits returns the tracked width.
 func (b *BitBias) Bits() int { return b.bits }
 
-// addZeros credits dt to the counters of every zero bit of value,
-// word-parallel: it walks only the set bits of ^value instead of testing
-// all positions one by one.
-func addZeros(counts []uint64, value, mask, dt uint64) {
-	for m := ^value & mask; m != 0; m &= m - 1 {
-		counts[bits.TrailingZeros64(m)] += dt
+// addOnes credits dt to the one-time of every set bit of value, choosing
+// the shorter walk: set bits directly when they are the minority, or the
+// dense scalar plus a subtractive walk over the zero bits otherwise. It
+// returns the dense credit (dt or 0) for the caller's scalar.
+func addOnes(counts []uint64, value, mask, dt uint64, width int) (dense uint64) {
+	v := value & mask
+	if 2*bits.OnesCount64(v) <= width {
+		for m := v; m != 0; m &= m - 1 {
+			counts[bits.TrailingZeros64(m)] += dt
+		}
+		return 0
 	}
+	for m := ^v & mask; m != 0; m &= m - 1 {
+		counts[bits.TrailingZeros64(m)] -= dt
+	}
+	return dt
 }
 
 // Observe records that value was held for dt cycles while busy.
@@ -54,7 +74,7 @@ func (b *BitBias) Observe(value uint64, dt uint64) {
 	}
 	b.busyTime += dt
 	b.intervals++
-	addZeros(b.zeroBusy, value, b.mask, dt)
+	b.denseBusy += addOnes(b.oneBusy, value, b.mask, dt, b.bits)
 }
 
 // ObserveFree records that the cell held value for dt cycles while the
@@ -66,7 +86,7 @@ func (b *BitBias) ObserveFree(value uint64, dt uint64) {
 		return
 	}
 	b.freeTime += dt
-	addZeros(b.zeroFree, value, b.mask, dt)
+	b.denseFree += addOnes(b.oneFree, value, b.mask, dt, b.bits)
 }
 
 // BusyTime returns the total busy cycles observed.
@@ -86,7 +106,8 @@ func (b *BitBias) ZeroBias(i int) float64 {
 	if total == 0 {
 		return 0.5
 	}
-	return float64(b.zeroBusy[i]+b.zeroFree[i]) / float64(total)
+	ones := b.oneBusy[i] + b.denseBusy + b.oneFree[i] + b.denseFree
+	return float64(total-ones) / float64(total)
 }
 
 // BusyZeroBias returns the fraction of busy time bit i held "0", or 0.5
@@ -95,16 +116,22 @@ func (b *BitBias) BusyZeroBias(i int) float64 {
 	if b.busyTime == 0 {
 		return 0.5
 	}
-	return float64(b.zeroBusy[i]) / float64(b.busyTime)
+	return float64(b.busyTime-b.oneBusy[i]-b.denseBusy) / float64(b.busyTime)
 }
 
 // Biases returns ZeroBias for every bit, index 0 = least significant.
 func (b *BitBias) Biases() []float64 {
-	out := make([]float64, b.bits)
-	for i := range out {
-		out[i] = b.ZeroBias(i)
+	return b.AppendBiases(make([]float64, 0, b.bits))
+}
+
+// AppendBiases appends ZeroBias for every bit to dst and returns the
+// extended slice, letting report builders size one backing array up
+// front instead of allocating per tracker.
+func (b *BitBias) AppendBiases(dst []float64) []float64 {
+	for i := 0; i < b.bits; i++ {
+		dst = append(dst, b.ZeroBias(i))
 	}
-	return out
+	return dst
 }
 
 // WorstImbalance returns the maximum over bits of |bias-0.5|·2, i.e. how
@@ -152,18 +179,21 @@ func (b *BitBias) Merge(other *BitBias) {
 	}
 	b.busyTime += other.busyTime
 	b.freeTime += other.freeTime
+	b.denseBusy += other.denseBusy
+	b.denseFree += other.denseFree
 	b.intervals += other.intervals
 	for i := 0; i < b.bits; i++ {
-		b.zeroBusy[i] += other.zeroBusy[i]
-		b.zeroFree[i] += other.zeroFree[i]
+		b.oneBusy[i] += other.oneBusy[i]
+		b.oneFree[i] += other.oneFree[i]
 	}
 }
 
 // Reset clears all accumulated time.
 func (b *BitBias) Reset() {
 	b.busyTime, b.freeTime, b.intervals = 0, 0, 0
-	for i := range b.zeroBusy {
-		b.zeroBusy[i] = 0
-		b.zeroFree[i] = 0
+	b.denseBusy, b.denseFree = 0, 0
+	for i := range b.oneBusy {
+		b.oneBusy[i] = 0
+		b.oneFree[i] = 0
 	}
 }

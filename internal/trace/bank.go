@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Bank is an immutable set of workload recordings: every stride-th trace
+// of the 531-trace Table 1 workload, synthesized exactly once and then
+// shared by every sweep. Experiments that replay the same workload
+// through many processor configurations (Fig 6 runs it twice, Fig 8
+// three times, Table 3 once per scheme) draw fresh Cursors from the bank
+// instead of re-synthesizing the streams.
+type Bank struct {
+	Length int // uops per trace
+	Stride int // workload subsampling stride the bank was built with
+
+	recs []*Recording
+	ord  []int // workload ordinal (0..530) of each recording
+}
+
+// NewBank records every stride-th trace of the workload at the given
+// replay length, preserving the suite mix exactly like SampleTraces.
+// Recording fans out over the CPUs: each trace is an independent
+// deterministic stream, so the bank's contents do not depend on the
+// recording order.
+func NewBank(length, stride int) *Bank {
+	if stride <= 0 {
+		panic("trace: stride must be positive")
+	}
+	type slot struct {
+		id  SuiteID
+		idx int
+		ord int
+	}
+	var slots []slot
+	k := 0
+	for _, s := range suites {
+		for i := 0; i < s.Count; i++ {
+			if k%stride == 0 {
+				slots = append(slots, slot{id: s.ID, idx: i, ord: k})
+			}
+			k++
+		}
+	}
+	b := &Bank{Length: length, Stride: stride, recs: make([]*Recording, len(slots)), ord: make([]int, len(slots))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(slots) {
+		workers = len(slots)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(slots) {
+					return
+				}
+				b.recs[i] = Record(slots[i].id, slots[i].idx, length)
+				b.ord[i] = slots[i].ord
+			}
+		}()
+	}
+	wg.Wait()
+	return b
+}
+
+// Recordings returns the bank's recordings in workload order. The slice
+// is shared; callers must not modify it.
+func (b *Bank) Recordings() []*Recording { return b.recs }
+
+// Sources returns a fresh replay cursor per recording, in workload
+// order.
+func (b *Bank) Sources() []Source {
+	out := make([]Source, len(b.recs))
+	for i, r := range b.recs {
+		out[i] = r.Cursor()
+	}
+	return out
+}
+
+// SampleSources returns cursors for every stride-th trace of the full
+// workload — the subset SampleTraces(length, stride) would synthesize.
+// stride must be a positive multiple of the bank's own stride so the
+// requested traces are actually in the bank.
+func (b *Bank) SampleSources(stride int) []Source {
+	if stride <= 0 || stride%b.Stride != 0 {
+		panic(fmt.Sprintf("trace: bank stride %d cannot sample stride %d (need a positive multiple)", b.Stride, stride))
+	}
+	var out []Source
+	for i, r := range b.recs {
+		if b.ord[i]%stride == 0 {
+			out = append(out, r.Cursor())
+		}
+	}
+	return out
+}
+
+// Bytes returns the total packed payload of the bank's recordings.
+func (b *Bank) Bytes() int {
+	n := 0
+	for _, r := range b.recs {
+		n += r.Bytes()
+	}
+	return n
+}

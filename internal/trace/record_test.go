@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRecordReplayEquivalence is the oracle test of the record/replay
+// subsystem: for every one of the ten suites, a Cursor over the packed
+// Recording must yield the deep-equal uop sequence the generator
+// synthesizes. Uop is a comparable struct, so == is a full-field check.
+func TestRecordReplayEquivalence(t *testing.T) {
+	const length = 3000
+	for id := SuiteID(0); id < NumSuites; id++ {
+		id := id
+		t.Run(SuiteByID(id).Name, func(t *testing.T) {
+			gen := NewTrace(id, 0, length)
+			cur := Record(id, 0, length).Cursor()
+			for i := 0; ; i++ {
+				gu, gok := gen.Next()
+				ru, rok := cur.NextUop()
+				if gok != rok {
+					t.Fatalf("uop %d: generator ok=%v, replay ok=%v", i, gok, rok)
+				}
+				if !gok {
+					break
+				}
+				if *ru != gu {
+					t.Fatalf("uop %d differs:\nreplay    %+v\ngenerator %+v", i, *ru, gu)
+				}
+			}
+			if cur.Pos() != length || cur.Len() != length {
+				t.Errorf("cursor pos/len = %d/%d, want %d", cur.Pos(), cur.Len(), length)
+			}
+		})
+	}
+}
+
+// TestSourceViewsMatchValues checks the generator's own NextUop view
+// against its by-value Next.
+func TestSourceViewsMatchValues(t *testing.T) {
+	a := NewTrace(Server, 4, 400)
+	b := NewTrace(Server, 4, 400)
+	for i := 0; i < 400; i++ {
+		ua, oka := a.NextUop()
+		ub, okb := b.Next()
+		if !oka || !okb {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if *ua != ub {
+			t.Fatalf("uop %d: NextUop view differs from Next value", i)
+		}
+	}
+	if _, ok := a.NextUop(); ok {
+		t.Fatal("NextUop must end after Length uops")
+	}
+}
+
+// TestCursorResetMidStream rewinds a cursor halfway through a replay and
+// requires the second replay to match a fresh one bit for bit.
+func TestCursorResetMidStream(t *testing.T) {
+	rec := Record(Multimedia, 2, 600)
+	cur := rec.Cursor()
+	for i := 0; i < 250; i++ {
+		if _, ok := cur.NextUop(); !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+	}
+	if cur.Pos() != 250 {
+		t.Fatalf("pos = %d, want 250", cur.Pos())
+	}
+	cur.Reset()
+	if cur.Pos() != 0 {
+		t.Fatalf("pos after Reset = %d, want 0", cur.Pos())
+	}
+	fresh := rec.Cursor()
+	for i := 0; ; i++ {
+		a, aok := cur.NextUop()
+		b, bok := fresh.NextUop()
+		if aok != bok {
+			t.Fatalf("uop %d: reset cursor ok=%v, fresh ok=%v", i, aok, bok)
+		}
+		if !aok {
+			break
+		}
+		if *a != *b {
+			t.Fatalf("uop %d differs after mid-stream Reset", i)
+		}
+	}
+}
+
+// TestConcurrentCursors replays one shared recording from many forked
+// cursors at once (run under -race in CI): each must see the identical
+// sequence with no cross-talk through the shared buffer.
+func TestConcurrentCursors(t *testing.T) {
+	const length = 1500
+	rec := Record(SpecINT2000, 1, length)
+	want := make([]Uop, 0, length)
+	ref := rec.Cursor()
+	for {
+		u, ok := ref.NextUop()
+		if !ok {
+			break
+		}
+		want = append(want, *u)
+	}
+
+	root := rec.Cursor()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := root.Fork()
+			for i := 0; ; i++ {
+				u, ok := cur.NextUop()
+				if !ok {
+					if i != length {
+						errs <- "stream ended early"
+					}
+					return
+				}
+				if *u != want[i] {
+					errs <- "concurrent replay diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestPackedFieldRoundTrip drives the pack/unpack pair directly with
+// edge-case uops: 80-bit FP extension bits at their extremes, the full
+// 16-bit immediate range, every boolean flag and every flags bit.
+func TestPackedFieldRoundTrip(t *testing.T) {
+	edges := []Uop{
+		{Class: ClassFPMul, Dst: 7, Src1: 7, Src2: 0, TOS: NumFPRegs - 1,
+			SrcVal1: ^uint64(0), SrcVal2: 1, DstVal: 1 << 63,
+			SrcExt1: 0xFFFF, SrcExt2: 0x8000, DstExt: 0x7FFF},
+		{Class: ClassALU, Dst: NumIntRegs - 1, Src1: 0, Src2: -1,
+			HasImm: true, Imm: 0xFFFF, Flags: FlagZF | FlagSF | FlagCF | FlagOF | FlagPF | FlagAF,
+			Shift1: true, Shift2: true, Opcode: 0xFFF},
+		{Class: ClassBranch, Dst: -1, Src1: 3, Src2: 5,
+			Taken: true, Mispredict: true, FetchBubble: 255},
+		{Class: ClassStore, Dst: -1, Src1: 1, Src2: 2,
+			Addr: ^uint64(0), MOBid: 63},
+		{Class: ClassLoad, Dst: 0, Src1: -1, Src2: -1, Imm: 0},
+	}
+	r := newRecording(Encoder, 0, "edges/0", len(edges))
+	for i := range edges {
+		r.append(&edges[i])
+	}
+	cur := r.Cursor()
+	for i := range edges {
+		u, ok := cur.NextUop()
+		if !ok {
+			t.Fatalf("uop %d missing", i)
+		}
+		if *u != edges[i] {
+			t.Fatalf("uop %d round-trip mismatch:\ngot  %+v\nwant %+v", i, *u, edges[i])
+		}
+	}
+	if _, ok := cur.NextUop(); ok {
+		t.Fatal("cursor must end after recorded uops")
+	}
+}
+
+// TestRecordingOverflowPanics: a field outside its packed width must
+// fail loudly at record time, never truncate silently.
+func TestRecordingOverflowPanics(t *testing.T) {
+	cases := map[string]Uop{
+		"imm":  {Imm: 1 << 16, HasImm: true},
+		"dst":  {Dst: 127},
+		"mob":  {MOBid: 64},
+		"tos":  {TOS: NumFPRegs},
+		"src1": {Src1: -2},
+	}
+	for name, u := range cases {
+		u := u
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("overflowing uop did not panic")
+				}
+			}()
+			newRecording(Encoder, 0, "overflow/0", 1).append(&u)
+		})
+	}
+}
+
+func TestRecordingMetadata(t *testing.T) {
+	rec := Record(Server, 12, 200)
+	if rec.Name() != "server/12" || rec.SuiteID() != Server || rec.Index() != 12 {
+		t.Errorf("metadata = %s/%v/%d", rec.Name(), rec.SuiteID(), rec.Index())
+	}
+	if rec.Len() != 200 {
+		t.Errorf("Len = %d, want 200", rec.Len())
+	}
+	if rec.Bytes() != 200*51 {
+		t.Errorf("Bytes = %d, want %d", rec.Bytes(), 200*51)
+	}
+	if rec.Cursor().Name() != "server/12" {
+		t.Error("cursor name mismatch")
+	}
+}
+
+// TestBankMatchesSampleTraces: the bank must hold exactly the traces
+// SampleTraces selects, and SampleSources must pick the matching subsets.
+func TestBankMatchesSampleTraces(t *testing.T) {
+	const length, stride = 200, 60
+	b := NewBank(length, stride)
+	want := SampleTraces(length, stride)
+	if len(b.Recordings()) != len(want) {
+		t.Fatalf("bank holds %d recordings, SampleTraces gives %d", len(b.Recordings()), len(want))
+	}
+	for i, rec := range b.Recordings() {
+		if rec.Name() != want[i].Name() {
+			t.Errorf("recording %d = %s, want %s", i, rec.Name(), want[i].Name())
+		}
+	}
+	sub := b.SampleSources(stride * 4)
+	wantSub := SampleTraces(length, stride*4)
+	if len(sub) != len(wantSub) {
+		t.Fatalf("SampleSources(%d) gives %d sources, want %d", stride*4, len(sub), len(wantSub))
+	}
+	for i, s := range sub {
+		if s.Name() != wantSub[i].Name() {
+			t.Errorf("sampled source %d = %s, want %s", i, s.Name(), wantSub[i].Name())
+		}
+	}
+	if b.Bytes() != len(want)*length*51 {
+		t.Errorf("bank Bytes = %d, want %d", b.Bytes(), len(want)*length*51)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-multiple sample stride did not panic")
+		}
+	}()
+	b.SampleSources(stride + 1)
+}
+
+// TestOperandStreamFromRecordings checks the adder operand path over
+// replay cursors matches the generator-backed stream sample for sample.
+func TestOperandStreamFromRecordings(t *testing.T) {
+	gen := NewOperandStream([]Source{NewTrace(Kernels, 0, 300), NewTrace(Office, 1, 300)})
+	rep := NewOperandStream([]Source{Record(Kernels, 0, 300).Cursor(), Record(Office, 1, 300).Cursor()})
+	for i := 0; i < 3000; i++ {
+		ga, gb, gc := gen.NextOperands()
+		ra, rb, rc := rep.NextOperands()
+		if ga != ra || gb != rb || gc != rc {
+			t.Fatalf("operand sample %d differs: gen (%#x,%#x,%v) replay (%#x,%#x,%v)",
+				i, ga, gb, gc, ra, rb, rc)
+		}
+	}
+}
+
+// TestOperandStreamPanicsWithoutALU: a source set with no ALU/Mul uops
+// must panic with a bounded scan instead of spinning forever.
+func TestOperandStreamPanicsWithoutALU(t *testing.T) {
+	r := newRecording(Encoder, 0, "stores/0", 2)
+	r.append(&Uop{Class: ClassStore, Dst: -1, Src1: 0, Src2: 1, Addr: 64})
+	r.append(&Uop{Class: ClassBranch, Dst: -1, Src1: 2, Src2: 3, Taken: true})
+	s := NewOperandStream([]Source{r.Cursor()})
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok {
+			t.Fatal("operand stream without ALU uops did not panic")
+		}
+		if !strings.Contains(msg, "ALU/Mul") {
+			t.Errorf("panic message %q should name the missing uop class", msg)
+		}
+	}()
+	s.NextOperands()
+}

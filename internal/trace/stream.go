@@ -1,38 +1,47 @@
 package trace
 
-// OperandStream adapts a set of traces into a stream of integer ALU
+import "fmt"
+
+// OperandStream adapts a set of uop sources into a stream of integer ALU
 // operand samples, for feeding the adder aging study (§4.3: "Inputs for
 // the adder have been sampled from the traces in Table 1"). It cycles
-// through the traces round-robin, drawing the operands of integer
+// through the sources round-robin, drawing the operands of integer
 // arithmetic uops; the carry-in models the add/sub and address-generation
-// mix, where carry-in is rarely set (§1.1).
+// mix, where carry-in is rarely set (§1.1). Sources are usually replay
+// Cursors over shared Recordings, so repeated adder studies pay no
+// re-synthesis cost.
 type OperandStream struct {
-	traces []*Trace
-	cur    int
+	sources []Source
+	cur     int
+	limit   int // uops in one full cycle through every source
 }
 
-// NewOperandStream returns a stream over the given traces. The traces
+// NewOperandStream returns a stream over the given sources. The sources
 // are reset and replayed as needed; at least one is required.
-func NewOperandStream(traces []*Trace) *OperandStream {
-	if len(traces) == 0 {
-		panic("trace: operand stream needs at least one trace")
+func NewOperandStream(sources []Source) *OperandStream {
+	if len(sources) == 0 {
+		panic("trace: operand stream needs at least one source")
 	}
-	for _, t := range traces {
-		t.Reset()
+	limit := len(sources)
+	for _, s := range sources {
+		s.Reset()
+		limit += s.Len()
 	}
-	return &OperandStream{traces: traces}
+	return &OperandStream{sources: sources, limit: limit}
 }
 
 // NextOperands returns the operand values and carry-in of the next
 // integer arithmetic uop, skipping other classes. It satisfies
-// adder.OperandSource.
+// adder.OperandSource. A source set without a single ALU/Mul uop cannot
+// yield operands; the scan is bounded by one full cycle through every
+// source so such a profile panics instead of spinning forever.
 func (s *OperandStream) NextOperands() (a, b uint64, cin bool) {
-	for tries := 0; ; tries++ {
-		t := s.traces[s.cur]
-		u, ok := t.Next()
+	for tries := 0; tries <= s.limit; tries++ {
+		src := s.sources[s.cur]
+		u, ok := src.NextUop()
 		if !ok {
-			t.Reset()
-			s.cur = (s.cur + 1) % len(s.traces)
+			src.Reset()
+			s.cur = (s.cur + 1) % len(s.sources)
 			continue
 		}
 		switch u.Class {
@@ -49,4 +58,6 @@ func (s *OperandStream) NextOperands() (a, b uint64, cin bool) {
 			return a, b, cin
 		}
 	}
+	panic(fmt.Sprintf("trace: operand stream scanned %d uops across %d sources without finding an ALU/Mul uop",
+		s.limit, len(s.sources)))
 }

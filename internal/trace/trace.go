@@ -12,7 +12,11 @@
 //
 // Traces are streams: NewTrace returns a generator that yields uops one
 // at a time and can be Reset and replayed, always producing the same
-// sequence for the same (suite, index) pair.
+// sequence for the same (suite, index) pair. Synthesis runs once per
+// stream in the common case: Record packs a generated trace into an
+// immutable Recording (51 B/uop), Cursor replays it with zero
+// allocation, and Bank records the Table 1 workload for every
+// configuration sweep to share — see record.go and bank.go.
 package trace
 
 import (
@@ -151,6 +155,7 @@ type Trace struct {
 	seed    int64
 	rng     *rand.Rand
 	pos     int
+	scratch Uop // NextUop view buffer
 
 	// generator state
 	intRegs  [NumIntRegs]uint64
@@ -247,6 +252,26 @@ func (t *Trace) Next() (Uop, bool) {
 	t.pos++
 	return t.generate(), true
 }
+
+// NextUop synthesizes the next uop into an internal scratch buffer and
+// returns a view of it, satisfying Source. The view is valid until the
+// next NextUop or Reset call.
+func (t *Trace) NextUop() (*Uop, bool) {
+	if t.pos >= t.Length {
+		return nil, false
+	}
+	t.pos++
+	t.scratch = t.generate()
+	return &t.scratch, true
+}
+
+// Len returns the replay length in uops, satisfying Source.
+func (t *Trace) Len() int { return t.Length }
+
+// Fork returns an independent generator over the identical stream,
+// satisfying Source. Safe to call concurrently: it reads only the
+// immutable identity fields.
+func (t *Trace) Fork() Source { return t.Clone() }
 
 // Pos returns how many uops have been produced since the last Reset.
 func (t *Trace) Pos() int { return t.pos }

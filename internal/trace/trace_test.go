@@ -295,7 +295,7 @@ func TestSampleTraces(t *testing.T) {
 }
 
 func TestOperandStream(t *testing.T) {
-	s := NewOperandStream([]*Trace{NewTrace(Kernels, 0, 300)})
+	s := NewOperandStream([]Source{NewTrace(Kernels, 0, 300)})
 	cinSet, n := 0, 2000
 	for i := 0; i < n; i++ {
 		a, b, cin := s.NextOperands()

@@ -3,9 +3,13 @@
 # so successive PRs accumulate a performance trajectory.
 #
 # The suite covers every paper figure/table plus the raw-throughput
-# benchmarks: pipeline (BenchmarkPipelineThroughput, BenchmarkRunBatch)
-# and the bit-parallel circuit stack (BenchmarkAdderEvalBatch adds/s,
-# BenchmarkStressApplyVec lane-applies/s).
+# benchmarks: pipeline (BenchmarkPipelineThroughput with the generator in
+# the loop, BenchmarkPipelineReplayThroughput over a packed recording,
+# BenchmarkRunBatch), the trace record/replay subsystem
+# (BenchmarkTraceRecord one-time synthesis+pack uops/s,
+# BenchmarkCursorReplay zero-alloc replay uops/s) and the bit-parallel
+# circuit stack (BenchmarkAdderEvalBatch adds/s, BenchmarkStressApplyVec
+# lane-applies/s).
 #
 # Usage: scripts/bench.sh [extra go test args...]
 #   e.g. scripts/bench.sh -benchtime 2s -count 3
