@@ -32,7 +32,7 @@ func BenchmarkFig1NITDynamics(b *testing.B) {
 	var last float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig1()
-		last = r.DutyEquilibria[0.5]
+		last = r.Equilibrium(0.5)
 	}
 	b.ReportMetric(last, "NIT50/N0")
 }

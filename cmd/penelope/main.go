@@ -1,32 +1,80 @@
 // Command penelope regenerates the tables and figures of "Penelope: The
-// NBTI-Aware Processor" (MICRO 2007) from the Go reproduction.
+// NBTI-Aware Processor" (MICRO 2007) from the Go reproduction, and can
+// serve them over HTTP as a long-running experiment service.
 //
 // Usage:
 //
-//	penelope -experiment all
-//	penelope -experiment fig4
-//	penelope -experiment table3 -length 20000 -stride 8
+//	penelope run -experiment all
+//	penelope run -experiment fig4 -json
+//	penelope run -experiment table3 -length 20000 -stride 8
+//	penelope serve -addr :8080
 //
-// Experiments: fig1, fig4, fig5, fig6, fig8, table1, table2, table3,
-// mru, efficiency, all. Length is uops per trace; stride subsamples the
+// The experiment list comes from the experiments registry (run
+// `penelope run -h`). Length is uops per trace; stride subsamples the
 // 531-trace workload (1 = full workload, as in the paper — slow).
+// Invoking penelope with flags but no subcommand behaves like `run`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"penelope/internal/experiments"
+	"penelope/internal/service"
 )
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "--help" || args[0] == "help") {
+		usage(os.Stdout)
+		return
+	}
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	switch cmd {
+	case "run":
+		runCmd(args)
+	case "serve":
+		serveCmd(args)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprintf(w, `penelope regenerates the paper's tables and figures.
+
+Commands:
+  run    execute experiments and print them (default command)
+  serve  serve experiments over HTTP with a job queue and result cache
+
+Run "penelope <command> -h" for the command's flags.
+Experiments: %s|all
+`, experiments.IDList())
+}
+
+// runCmd executes one experiment (or all of them) and renders the
+// result as text, or as one JSON payload per line with -json.
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		exp    = flag.String("experiment", "all", "experiment id: fig1|fig4|fig5|fig6|fig8|table1|table2|table3|mru|efficiency|all")
-		length = flag.Int("length", 0, "uops per trace (default 12000)")
-		stride = flag.Int("stride", 0, "workload subsampling stride (default 12; 1 = all 531 traces)")
+		exp    = fs.String("experiment", "all", "experiment id: "+experiments.IDList()+"|all")
+		length = fs.Int("length", 0, "uops per trace (default 12000)")
+		stride = fs.Int("stride", 0, "workload subsampling stride (default 12; 1 = all 531 traces)")
+		asJSON = fs.Bool("json", false, "emit structured JSON payloads (one per line) instead of text")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	opts := experiments.DefaultOptions()
 	if *length > 0 {
@@ -36,69 +84,60 @@ func main() {
 		opts.TraceStride = *stride
 	}
 
-	w := os.Stdout
-	run := func(id string) bool {
-		switch id {
-		case "fig1":
-			experiments.Fig1().Render(w)
-		case "fig4":
-			experiments.Fig4().Render(w)
-		case "fig5":
-			experiments.Fig5(opts).Render(w)
-		case "fig6":
-			experiments.Fig6(opts).Render(w)
-		case "fig8":
-			experiments.Fig8(opts).Render(w)
-		case "table1":
-			experiments.Table1(w)
-		case "table2":
-			experiments.Table2(w)
-		case "table3":
-			experiments.Table3(opts).Render(w)
-		case "mru":
-			experiments.MRUStudy(opts, w)
-		case "bpred":
-			experiments.Bpred(opts).Render(w)
-		case "latch":
-			experiments.Latch(opts).Render(w)
-		case "vmin":
-			experiments.Vmin(experiments.Fig6(opts), experiments.Fig8(opts)).Render(w)
-		case "efficiency":
-			t3 := experiments.Table3(opts)
-			f5 := experiments.Fig5(opts)
-			f6 := experiments.Fig6(opts)
-			f8 := experiments.Fig8(opts)
-			in := experiments.EfficiencyInputs{
-				AdderGuardband: f5.Scenarios[1].Guardband,
-				IntRFWorstBias: f6.IntWorstISV,
-				FPRFWorstBias:  f6.FPWorstISV,
-				SchedWorstBias: f8.WorstProtected,
-				CombinedCPI:    t3.CombinedCPI,
-			}
-			fmt.Fprintln(w, "\nmeasured inputs:")
-			fmt.Fprintf(w, "  adder guardband %.1f%%, RF worst bias %.1f%%/%.1f%%, sched worst bias %.1f%%, combined CPI %.4f\n",
-				in.AdderGuardband*100, in.IntRFWorstBias*100, in.FPRFWorstBias*100,
-				in.SchedWorstBias*100, in.CombinedCPI)
-			experiments.Efficiency(in).Render(w)
-			fmt.Fprintln(w, "\nreference (paper inputs):")
-			experiments.Efficiency(experiments.PaperInputs()).Render(w)
-		default:
-			return false
-		}
-		return true
-	}
-
+	ids := []string{*exp}
 	if *exp == "all" {
-		for _, id := range []string{"table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig8", "mru", "table3", "efficiency", "bpred", "latch", "vmin"} {
-			if !run(id) {
-				panic("unreachable")
-			}
-		}
-		return
+		ids = experiments.IDs()
 	}
-	if !run(*exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	w := os.Stdout
+	for _, id := range ids {
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fs.Usage()
+			os.Exit(2)
+		}
+		if *asJSON {
+			payload, err := experiments.NewPayload(res, opts).MarshalCompact()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marshal %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "%s\n", payload)
+		} else {
+			res.Render(w)
+		}
+	}
+}
+
+// serveCmd starts the experiment service: a worker pool over the
+// simulator with a content-addressed result cache, exposed as an HTTP
+// JSON API.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "simulation worker count (default: GOMAXPROCS)")
+		queue   = fs.Int("queue", 0, "job queue depth (default 256)")
+	)
+	fs.Parse(args)
+
+	srv := service.New(service.Config{Workers: *workers, QueueDepth: *queue})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("penelope serve: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("penelope serve: shutting down")
+		httpSrv.Close()
+	}()
+	log.Printf("penelope serve: listening on %s (%d workers)", ln.Addr(), srv.Workers())
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("penelope serve: %v", err)
 	}
 }

@@ -85,6 +85,50 @@ func Efficiency(in EfficiencyInputs) EfficiencyResult {
 	return res
 }
 
+// EfficiencyStudyResult pairs the measured-input efficiency summary
+// with the paper-input reference column — the full §4.7 comparison the
+// "efficiency" experiment reports.
+type EfficiencyStudyResult struct {
+	Measured  EfficiencyResult
+	Reference EfficiencyResult
+}
+
+// EfficiencyStudy runs the experiments the §4.7 summary combines —
+// Table 3, Figure 5, Figure 6 and Figure 8 — and evaluates the
+// NBTIefficiency with the measured inputs next to the paper's own
+// numbers. All four sub-experiments replay the shared recording bank
+// for o.
+func EfficiencyStudy(o Options) EfficiencyStudyResult {
+	t3 := Table3(o)
+	f5 := Fig5(o)
+	f6 := Fig6(o)
+	f8 := Fig8(o)
+	in := EfficiencyInputs{
+		AdderGuardband: f5.Scenarios[1].Guardband,
+		IntRFWorstBias: f6.IntWorstISV,
+		FPRFWorstBias:  f6.FPWorstISV,
+		SchedWorstBias: f8.WorstProtected,
+		CombinedCPI:    t3.CombinedCPI,
+	}
+	return EfficiencyStudyResult{
+		Measured:  Efficiency(in),
+		Reference: Efficiency(PaperInputs()),
+	}
+}
+
+// Render writes the measured summary, its inputs, and the reference
+// column.
+func (r EfficiencyStudyResult) Render(w io.Writer) {
+	in := r.Measured.Inputs
+	fmt.Fprintln(w, "\nmeasured inputs:")
+	fmt.Fprintf(w, "  adder guardband %.1f%%, RF worst bias %.1f%%/%.1f%%, sched worst bias %.1f%%, combined CPI %.4f\n",
+		in.AdderGuardband*100, in.IntRFWorstBias*100, in.FPRFWorstBias*100,
+		in.SchedWorstBias*100, in.CombinedCPI)
+	r.Measured.Render(w)
+	fmt.Fprintln(w, "\nreference (paper inputs):")
+	r.Reference.Render(w)
+}
+
 // Render writes the efficiency summary.
 func (r EfficiencyResult) Render(w io.Writer) {
 	section(w, "NBTIefficiency (eq. 1): (Delay·(1+guardband))³·TDP — lower is better")

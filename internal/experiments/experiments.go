@@ -21,10 +21,10 @@ type Options struct {
 	// TraceLength is the uop count replayed per trace. The paper used
 	// 10M instructions per trace; the default trades absolute numbers
 	// (which depend on the substituted workload anyway) for runtime.
-	TraceLength int
+	TraceLength int `json:"trace_length"`
 	// TraceStride subsamples the 531-trace workload: 1 runs everything,
 	// n runs every n-th trace, preserving the suite mix.
-	TraceStride int
+	TraceStride int `json:"trace_stride"`
 }
 
 // DefaultOptions returns the settings used by the checked-in experiment
@@ -44,6 +44,21 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// Normalized returns the options with zero and negative fields replaced
+// by the defaults — the canonical form Key, the result payloads and the
+// experiment service report.
+func (o Options) Normalized() Options { return o.normalized() }
+
+// Key canonicalizes the options into a stable string: zero and
+// defaulted fields normalize first, so every Options value that runs
+// the same workload maps to the same key. The experiment service keys
+// its result cache on it (combined with the experiment id), and the
+// per-process bank cache below shares the same canonical form.
+func (o Options) Key() string {
+	o = o.normalized()
+	return fmt.Sprintf("length=%d,stride=%d", o.TraceLength, o.TraceStride)
+}
+
 // defaultBank records the default workload — every 12th trace, 45
 // recordings, ~27 MB packed — exactly once per process, like the shared
 // compiled adder. Every driver replays cursors over it, so Fig 5/6/8,
@@ -53,14 +68,16 @@ var defaultBank = sync.OnceValue(func() *trace.Bank {
 	return trace.NewBank(o.TraceLength, o.TraceStride)
 })
 
-// bankCache memoizes banks for non-default Options (keyed by the Options
-// value), so benchmark and test sweeps that re-run a driver with the same
-// custom workload also synthesize it only once. Entries live for the
-// process — the experiment drivers see a handful of Options values, and
-// a bank is exactly what repeated sweeps want resident. The cache holds
-// once-functions, not banks, so concurrent first users of one Options
-// value never synthesize the same workload twice.
-var bankCache sync.Map // Options -> func() *trace.Bank
+// bankCache memoizes banks for non-default Options (keyed by the
+// canonical Options.Key), so benchmark and test sweeps that re-run a
+// driver with the same custom workload also synthesize it only once —
+// including Options values that only differ in zero/defaulted fields.
+// Entries live for the process — the experiment drivers see a handful
+// of Options values, and a bank is exactly what repeated sweeps want
+// resident. The cache holds once-functions, not banks, so concurrent
+// first users of one Options value never synthesize the same workload
+// twice.
+var bankCache sync.Map // Options.Key() -> func() *trace.Bank
 
 // bank returns the process-wide recording bank for o.
 func (o Options) bank() *trace.Bank {
@@ -68,13 +85,14 @@ func (o Options) bank() *trace.Bank {
 	if o == DefaultOptions() {
 		return defaultBank()
 	}
-	if f, ok := bankCache.Load(o); ok {
+	key := o.Key()
+	if f, ok := bankCache.Load(key); ok {
 		return f.(func() *trace.Bank)()
 	}
 	once := sync.OnceValue(func() *trace.Bank {
 		return trace.NewBank(o.TraceLength, o.TraceStride)
 	})
-	f, _ := bankCache.LoadOrStore(o, once)
+	f, _ := bankCache.LoadOrStore(key, once)
 	return f.(func() *trace.Bank)()
 }
 
@@ -96,15 +114,36 @@ func section(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
 }
 
-// Table1 prints the workload inventory (paper Table 1), as generated by
-// the synthetic suite profiles.
-func Table1(w io.Writer) {
+// WorkloadRow is one suite of the Table 1 inventory.
+type WorkloadRow struct {
+	Suite       string
+	Traces      int
+	Description string
+}
+
+// Table1Result holds the workload inventory of paper Table 1.
+type Table1Result struct {
+	Rows  []WorkloadRow
+	Total int
+}
+
+// Table1 collects the workload inventory (paper Table 1), as generated
+// by the synthetic suite profiles.
+func Table1() Table1Result {
+	var res Table1Result
+	for _, s := range trace.Suites() {
+		res.Rows = append(res.Rows, WorkloadRow{Suite: s.Name, Traces: s.Count, Description: s.Description})
+		res.Total += s.Count
+	}
+	return res
+}
+
+// Render writes Table 1.
+func (r Table1Result) Render(w io.Writer) {
 	section(w, "Table 1: Workloads")
 	fmt.Fprintf(w, "%-14s %8s  %s\n", "suite", "#traces", "description")
-	total := 0
-	for _, s := range trace.Suites() {
-		fmt.Fprintf(w, "%-14s %8d  %s\n", s.Name, s.Count, s.Description)
-		total += s.Count
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %8d  %s\n", row.Suite, row.Traces, row.Description)
 	}
-	fmt.Fprintf(w, "%-14s %8d\n", "total", total)
+	fmt.Fprintf(w, "%-14s %8d\n", "total", r.Total)
 }

@@ -17,7 +17,7 @@ func quickOptions() Options {
 
 func TestTable1(t *testing.T) {
 	var buf bytes.Buffer
-	Table1(&buf)
+	Table1().Render(&buf)
 	out := buf.String()
 	for _, want := range []string{"encoder", "server", "531", "TPC-C"} {
 		if !strings.Contains(out, want) {
@@ -28,7 +28,7 @@ func TestTable1(t *testing.T) {
 
 func TestTable2(t *testing.T) {
 	var buf bytes.Buffer
-	Table2(&buf)
+	Table2().Render(&buf)
 	out := buf.String()
 	for _, want := range []string{"valid", "SRC1 data", "144"} {
 		if !strings.Contains(out, want) {
@@ -45,7 +45,7 @@ func TestFig1(t *testing.T) {
 	if r.LifetimeAt50 < 4 {
 		t.Errorf("lifetime at 50%% duty = %v, want >= 4", r.LifetimeAt50)
 	}
-	if r.DutyEquilibria[1.0] <= r.DutyEquilibria[0.5] {
+	if r.Equilibrium(1.0) <= r.Equilibrium(0.5) {
 		t.Error("equilibrium must grow with duty")
 	}
 	var buf bytes.Buffer
@@ -201,7 +201,7 @@ func TestEfficiencyPaperInputs(t *testing.T) {
 
 func TestMRUStudy(t *testing.T) {
 	var buf bytes.Buffer
-	MRUStudy(quickOptions(), &buf)
+	MRUStudy(quickOptions()).Render(&buf)
 	if !strings.Contains(buf.String(), "MRU+0") {
 		t.Error("MRU study output incomplete")
 	}

@@ -7,16 +7,34 @@ import (
 	"penelope/internal/nbti"
 )
 
+// DutyPoint is the equilibrium trap density at one stress duty cycle.
+type DutyPoint struct {
+	Duty float64
+	NIT  float64
+}
+
 // Fig1Result holds the regenerated NBTI stress/relax dynamics of paper
 // Figure 1.
 type Fig1Result struct {
 	Trace []nbti.TracePoint
-	// FinalNIT per duty cycle, demonstrating the equilibrium the
-	// balancing techniques aim for.
-	DutyEquilibria map[float64]float64
+	// DutyEquilibria is the final NIT per duty cycle in ascending duty
+	// order, demonstrating the equilibrium the balancing techniques aim
+	// for.
+	DutyEquilibria []DutyPoint
 	// LifetimeAt50 is the lifetime extension factor at balanced duty
 	// (the paper cites at least 4X).
 	LifetimeAt50 float64
+}
+
+// Equilibrium returns the equilibrium NIT at the given duty cycle, or 0
+// if the sweep did not include it.
+func (r Fig1Result) Equilibrium(duty float64) float64 {
+	for _, dp := range r.DutyEquilibria {
+		if dp.Duty == duty {
+			return dp.NIT
+		}
+	}
+	return 0
 }
 
 // Fig1 simulates a PMOS device under an alternating stress/relax square
@@ -25,12 +43,11 @@ type Fig1Result struct {
 func Fig1() Fig1Result {
 	p := nbti.DefaultParams()
 	res := Fig1Result{
-		Trace:          nbti.SquareWave(p, 0.4, 0.5, 12),
-		DutyEquilibria: map[float64]float64{},
-		LifetimeAt50:   p.LifetimeFactor(0.5),
+		Trace:        nbti.SquareWave(p, 0.4, 0.5, 12),
+		LifetimeAt50: p.LifetimeFactor(0.5),
 	}
 	for _, duty := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
-		res.DutyEquilibria[duty] = p.EquilibriumTraps(duty)
+		res.DutyEquilibria = append(res.DutyEquilibria, DutyPoint{Duty: duty, NIT: p.EquilibriumTraps(duty)})
 	}
 	return res
 }
@@ -44,8 +61,8 @@ func (r Fig1Result) Render(w io.Writer) {
 		fmt.Fprintf(w, "%10.2f %12.4f %12.4f %s\n", pt.Time, pt.NIT, pt.VTH, hashBar(bar))
 	}
 	fmt.Fprintf(w, "\nduty-cycle equilibria (NIT/N0):\n")
-	for _, duty := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
-		fmt.Fprintf(w, "  duty %.2f -> %.4f\n", duty, r.DutyEquilibria[duty])
+	for _, dp := range r.DutyEquilibria {
+		fmt.Fprintf(w, "  duty %.2f -> %.4f\n", dp.Duty, dp.NIT)
 	}
 	fmt.Fprintf(w, "lifetime extension at 50%% duty: %.1fX (paper: at least 4X)\n", r.LifetimeAt50)
 }

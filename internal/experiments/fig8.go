@@ -139,12 +139,35 @@ func (r Fig8Result) Render(w io.Writer) {
 	}
 }
 
-// Table2 prints the scheduler field layout (paper Table 2).
-func Table2(w io.Writer) {
+// SchedFieldRow is one field of the Table 2 layout.
+type SchedFieldRow struct {
+	Field       string
+	Bits        int
+	Description string
+}
+
+// Table2Result holds the scheduler field layout of paper Table 2.
+type Table2Result struct {
+	Rows      []SchedFieldRow
+	TotalBits int
+}
+
+// Table2 collects the scheduler field layout (paper Table 2).
+func Table2() Table2Result {
+	var res Table2Result
+	for _, f := range sched.Specs() {
+		res.Rows = append(res.Rows, SchedFieldRow{Field: f.Name, Bits: f.Bits, Description: f.Description})
+	}
+	res.TotalBits = sched.TotalBits()
+	return res
+}
+
+// Render writes Table 2.
+func (r Table2Result) Render(w io.Writer) {
 	section(w, "Table 2: scheduler fields")
 	fmt.Fprintf(w, "%-12s %5s  %s\n", "field", "bits", "description")
-	for _, f := range sched.Specs() {
-		fmt.Fprintf(w, "%-12s %5d  %s\n", f.Name, f.Bits, f.Description)
+	for _, f := range r.Rows {
+		fmt.Fprintf(w, "%-12s %5d  %s\n", f.Field, f.Bits, f.Description)
 	}
-	fmt.Fprintf(w, "%-12s %5d\n", "total", sched.TotalBits())
+	fmt.Fprintf(w, "%-12s %5d\n", "total", r.TotalBits)
 }

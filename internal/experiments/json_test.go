@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the committed JSON goldens")
+
+// goldenOptions matches the replay golden tests: a light workload so
+// the whole registry runs in seconds.
+func goldenOptions() Options {
+	return Options{TraceLength: 2000, TraceStride: 90}
+}
+
+// TestResultJSONDeterministic runs every registry experiment once and
+// requires two marshals of the result to be byte-identical, the
+// envelope to carry the right id and normalized options, and the bytes
+// to round-trip as JSON.
+func TestResultJSONDeterministic(t *testing.T) {
+	o := goldenOptions()
+	for _, spec := range Experiments() {
+		res := spec.Run(o)
+		if res.ID() != spec.ID {
+			t.Errorf("%s: result ID() = %q", spec.ID, res.ID())
+		}
+		first, err := NewPayload(res, o).Marshal()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", spec.ID, err)
+		}
+		second, err := NewPayload(res, o).Marshal()
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", spec.ID, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: marshaling twice produced different bytes", spec.ID)
+		}
+		var env struct {
+			Schema     int             `json:"schema"`
+			Experiment string          `json:"experiment"`
+			Options    Options         `json:"options"`
+			Data       json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(first, &env); err != nil {
+			t.Fatalf("%s: payload does not parse: %v", spec.ID, err)
+		}
+		if env.Schema != SchemaVersion || env.Experiment != spec.ID {
+			t.Errorf("%s: envelope = {schema %d, experiment %q}", spec.ID, env.Schema, env.Experiment)
+		}
+		if env.Options != o.normalized() {
+			t.Errorf("%s: envelope options = %+v, want normalized %+v", spec.ID, env.Options, o.normalized())
+		}
+		if len(env.Data) == 0 || string(env.Data) == "null" {
+			t.Errorf("%s: empty data payload", spec.ID)
+		}
+	}
+}
+
+// TestResultJSONGolden pins the Fig 6 and Fig 8 payloads against
+// committed goldens: the simulation is deterministic, so the marshaled
+// bytes must reproduce exactly across processes and machines. Refresh
+// with `go test ./internal/experiments -run Golden -update` after an
+// intentional schema or simulation change.
+func TestResultJSONGolden(t *testing.T) {
+	o := goldenOptions()
+	for _, id := range []string{"fig6", "fig8"} {
+		res, err := Run(id, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := NewPayload(res, o).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", id+"_golden.json")
+		if *updateGolden {
+			if err := os.WriteFile(path, payload, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", id, err)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Errorf("%s: payload diverges from committed golden %s (%d vs %d bytes); run with -update if intentional",
+				id, path, len(payload), len(want))
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestOptionsKeyCanonical checks that every Options value that runs the
+// same workload maps to the same cache key: zero fields normalize to
+// the defaults, and JSON field order is irrelevant.
+func TestOptionsKeyCanonical(t *testing.T) {
+	def := DefaultOptions()
+	same := []Options{
+		{},
+		{TraceLength: def.TraceLength},
+		{TraceStride: def.TraceStride},
+		{TraceLength: def.TraceLength, TraceStride: def.TraceStride},
+		{TraceLength: -1, TraceStride: -7},
+	}
+	for _, o := range same {
+		if got, want := o.Key(), def.Key(); got != want {
+			t.Errorf("Options%+v.Key() = %q, want %q", o, got, want)
+		}
+	}
+
+	// Permuted JSON bodies decode to the same key.
+	var a, b Options
+	if err := json.Unmarshal([]byte(`{"trace_length":8000,"trace_stride":24}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"trace_stride":24,"trace_length":8000}`), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("permuted JSON keys differ: %q vs %q", a.Key(), b.Key())
+	}
+
+	// Distinct workloads get distinct keys.
+	if a.Key() == def.Key() {
+		t.Error("distinct options share a key")
+	}
+	if (Options{TraceLength: 8000, TraceStride: 12}).Key() == (Options{TraceLength: 12, TraceStride: 8000}).Key() {
+		t.Error("length/stride must not be interchangeable in the key")
+	}
+}
+
+// TestBankMemoizationSharesKey checks that the per-process bank cache
+// is keyed on the canonical form: an explicit and a zero-valued spelling
+// of the same workload share one recorded bank.
+func TestBankMemoizationSharesKey(t *testing.T) {
+	// Stride 531 keeps this cheap: a single recorded trace.
+	a := Options{TraceLength: 900, TraceStride: 531}
+	if a.bank() != (Options{TraceLength: 900, TraceStride: 531}).bank() {
+		t.Error("equal options must share one memoized bank")
+	}
+	// A negative stride normalizes to the default before keying, so it
+	// shares the default-stride bank for the same length.
+	if (Options{TraceLength: 900, TraceStride: -3}).bank() != (Options{TraceLength: 900, TraceStride: DefaultOptions().TraceStride}).bank() {
+		t.Error("normalized-equivalent options must share the memoized bank")
+	}
+	if (Options{TraceLength: 900, TraceStride: 531}).bank() == (Options{TraceLength: 901, TraceStride: 531}).bank() {
+		t.Error("distinct options must not share a bank")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Result is the structured outcome of one experiment driver. Every
+// figure and table produces a Result: data first, with Render as one
+// view over it, so the same run can feed the text report, the -json
+// flag and the experiment service's HTTP payloads. ID returns the
+// registry id the result regenerates ("fig6", "table3", ...).
+//
+// Results marshal to a stable JSON schema: exported fields only, no
+// maps with non-string keys, deterministic byte-for-byte output for a
+// deterministic run (guarded by the json determinism tests).
+type Result interface {
+	ID() string
+	Render(w io.Writer)
+}
+
+// SchemaVersion tags every marshaled payload so clients can detect
+// schema changes. Bump it whenever a result struct changes shape.
+const SchemaVersion = 1
+
+// Payload is the envelope every marshaled result ships in: which
+// experiment produced it, under which (normalized) options, and the
+// result data itself.
+type Payload struct {
+	Schema     int     `json:"schema"`
+	Experiment string  `json:"experiment"`
+	Options    Options `json:"options"`
+	Data       Result  `json:"data"`
+}
+
+// NewPayload wraps a result and the options that produced it.
+func NewPayload(r Result, o Options) Payload {
+	return Payload{Schema: SchemaVersion, Experiment: r.ID(), Options: o.normalized(), Data: r}
+}
+
+// Marshal renders the payload as stable, indented JSON. The output is
+// deterministic: marshaling the same result twice yields identical
+// bytes.
+func (p Payload) Marshal() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// MarshalCompact renders the payload on a single line, for NDJSON
+// streams (`penelope run -json`). Same determinism as Marshal.
+func (p Payload) MarshalCompact() ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// The experiment ids, one per registry entry. Each result type names
+// the experiment it regenerates; the ids double as the service's cache
+// key component.
+
+// ID returns "table1".
+func (Table1Result) ID() string { return "table1" }
+
+// ID returns "table2".
+func (Table2Result) ID() string { return "table2" }
+
+// ID returns "fig1".
+func (Fig1Result) ID() string { return "fig1" }
+
+// ID returns "fig4".
+func (Fig4Result) ID() string { return "fig4" }
+
+// ID returns "fig5".
+func (Fig5Result) ID() string { return "fig5" }
+
+// ID returns "fig6".
+func (Fig6Result) ID() string { return "fig6" }
+
+// ID returns "fig8".
+func (Fig8Result) ID() string { return "fig8" }
+
+// ID returns "mru".
+func (MRUResult) ID() string { return "mru" }
+
+// ID returns "table3".
+func (Table3Result) ID() string { return "table3" }
+
+// ID returns "efficiency".
+func (EfficiencyStudyResult) ID() string { return "efficiency" }
+
+// ID returns "bpred".
+func (BpredResult) ID() string { return "bpred" }
+
+// ID returns "latch".
+func (LatchResult) ID() string { return "latch" }
+
+// ID returns "vmin".
+func (VminResult) ID() string { return "vmin" }

@@ -168,10 +168,18 @@ func (r Table3Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "\ncombined CPI with LineFixed50%% on DL0+DTLB: %.4f (paper: 1.007)\n", r.CombinedCPI)
 }
 
-// MRUStudy reports the DL0 hit-position distribution backing §3.2.1's
+// MRUResult holds the DL0 hit-position distribution backing §3.2.1's
 // line-granularity argument (paper: 90% of hits in the MRU position for
 // a 32KB 8-way DL0, 7% at MRU+1, 3% elsewhere).
-func MRUStudy(o Options, w io.Writer) {
+type MRUResult struct {
+	// Ranks[i] is the fraction of DL0 hits landing at MRU+i, averaged
+	// across traces.
+	Ranks []float64
+}
+
+// MRUStudy measures the DL0 hit-position distribution on a sample of
+// the workload.
+func MRUStudy(o Options) MRUResult {
 	o = o.normalized()
 	cfg := pipeline.DefaultConfig()
 	ranks := make([]float64, cfg.DL0Ways)
@@ -189,9 +197,17 @@ func MRUStudy(o Options, w io.Writer) {
 		}
 		n++
 	}
+	for i := range ranks {
+		ranks[i] /= n
+	}
+	return MRUResult{Ranks: ranks}
+}
+
+// Render writes the hit-position distribution.
+func (r MRUResult) Render(w io.Writer) {
 	section(w, "DL0 hit position distribution (§3.2.1)")
-	for i, f := range ranks {
-		fmt.Fprintf(w, "MRU+%d: %6.2f%%\n", i, f/n*100)
+	for i, f := range r.Ranks {
+		fmt.Fprintf(w, "MRU+%d: %6.2f%%\n", i, f*100)
 	}
 	fmt.Fprintln(w, "(paper: 90% MRU, 7% MRU+1, 3% remaining)")
 }

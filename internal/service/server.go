@@ -1,0 +1,396 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"penelope/internal/experiments"
+)
+
+// Runner executes one experiment. The default runs the registry driver;
+// tests substitute instrumented runners to count and gate simulations.
+type Runner func(experiment string, o experiments.Options) (experiments.Result, error)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS). Each
+	// experiment driver already fans its own sweeps out over
+	// pipeline.RunBatch, so a small pool keeps the machine busy without
+	// oversubscribing it.
+	Workers int
+	// QueueDepth bounds queued leader jobs (default 256). Submissions
+	// beyond it are rejected with 503 rather than buffered without
+	// bound.
+	QueueDepth int
+	// RetainJobs bounds how many finished (done/failed) jobs stay
+	// pollable (default 4096). The oldest are evicted first; their
+	// results remain fetchable through the content-addressed cache, so
+	// eviction only limits how long /v1/jobs/{id} answers for a
+	// long-finished job.
+	RetainJobs int
+	// Runner overrides experiment execution (tests). Nil runs the
+	// registry.
+	Runner Runner
+}
+
+// Server is the experiment service: it validates requests against the
+// experiments registry, deduplicates them through the content-addressed
+// cache, and executes cache leaders on the worker pool.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	pool  *pool
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	terminal []string // finished job ids, oldest first, for eviction
+	nextID   uint64
+
+	done     uint64 // jobs finished successfully (cumulative)
+	failed   uint64 // jobs finished with an error (cumulative)
+	rejected uint64 // submissions dropped because the queue was full
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 4096
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = func(experiment string, o experiments.Options) (experiments.Result, error) {
+			return experiments.Run(experiment, o)
+		}
+	}
+	return &Server{
+		cfg:   cfg,
+		cache: NewCache(),
+		pool:  newPool(cfg.Workers, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+}
+
+// Workers returns the worker pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Close drains the queue and stops the workers.
+func (s *Server) Close() { s.pool.close() }
+
+// submit registers a job for (experiment, o) and routes it through the
+// cache: completed entries finish the job immediately, in-flight
+// entries attach a waiter, and new keys enqueue a leader on the pool.
+func (s *Server) submit(experiment string, o experiments.Options) (*Job, error) {
+	spec, ok := experiments.Lookup(experiment)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (have %s)", experiment, experiments.IDList())
+	}
+	o = o.Normalized()
+	if spec.OptionsFree {
+		// The driver ignores Options: canonicalize to the defaults so
+		// every spelling shares one cache entry and one simulation.
+		o = experiments.DefaultOptions()
+	}
+	key := ResultKey(experiment, o)
+
+	s.mu.Lock()
+	s.nextID++
+	job := &Job{
+		ID:         fmt.Sprintf("job-%d", s.nextID),
+		Experiment: experiment,
+		Options:    o,
+		ResultKey:  key,
+		State:      StateQueued,
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	entry, leader, ready := s.cache.Acquire(key)
+	switch {
+	case ready:
+		// Served from cache: the payload is resident, the job is done
+		// before the response is written.
+		_, err := entry.Wait()
+		s.finish(job, err, true)
+	case !leader:
+		// In-flight dedup: share the running simulation's outcome.
+		s.setCacheHit(job)
+		go func() {
+			_, err := entry.Wait()
+			s.finish(job, err, true)
+		}()
+	default:
+		if !s.pool.submit(func() { s.runJob(job, entry) }) {
+			s.cache.Abandon(entry, "job queue full")
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			s.finish(job, errQueueFull, false)
+			return job, errQueueFull
+		}
+	}
+	return job, nil
+}
+
+// errQueueFull distinguishes a saturated pool from a bad request.
+var errQueueFull = fmt.Errorf("service: job queue full")
+
+// runJob executes a leader job and completes its cache entry.
+func (s *Server) runJob(job *Job, entry *Entry) {
+	s.mu.Lock()
+	job.State = StateRunning
+	s.mu.Unlock()
+
+	res, err := s.cfg.Runner(job.Experiment, job.Options)
+	var payload []byte
+	if err == nil {
+		payload, err = experiments.NewPayload(res, job.Options).Marshal()
+	}
+	s.cache.Complete(entry, payload, err)
+	s.finish(job, err, false)
+}
+
+// finish moves a job to its terminal state and evicts the oldest
+// finished jobs beyond the retention bound. In-flight jobs are never
+// evicted: their population is bounded by the queue depth and the
+// attached waiters.
+func (s *Server) finish(job *Job, err error, cacheHit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.CacheHit = job.CacheHit || cacheHit
+	if err != nil {
+		job.State = StateFailed
+		job.Error = err.Error()
+		s.failed++
+	} else {
+		job.State = StateDone
+		s.done++
+	}
+	s.terminal = append(s.terminal, job.ID)
+	for len(s.terminal) > s.cfg.RetainJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+}
+
+func (s *Server) setCacheHit(job *Job) {
+	s.mu.Lock()
+	job.CacheHit = true
+	s.mu.Unlock()
+}
+
+// snapshot copies a job under the lock so handlers can marshal it
+// without racing state transitions.
+func (s *Server) snapshot(job *Job) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return *job
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	Jobs struct {
+		Submitted uint64 `json:"submitted"`
+		Queued    uint64 `json:"queued"`
+		Running   uint64 `json:"running"`
+		Done      uint64 `json:"done"`
+		Failed    uint64 `json:"failed"`
+		Rejected  uint64 `json:"rejected"`
+	} `json:"jobs"`
+	Cache   CacheStats `json:"cache"`
+	Workers int        `json:"workers"`
+}
+
+// metrics snapshots the job and cache counters.
+func (s *Server) metrics() Metrics {
+	var m Metrics
+	s.mu.Lock()
+	m.Jobs.Submitted = s.nextID
+	m.Jobs.Rejected = s.rejected
+	m.Jobs.Done = s.done
+	m.Jobs.Failed = s.failed
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateQueued:
+			m.Jobs.Queued++
+		case StateRunning:
+			m.Jobs.Running++
+		}
+	}
+	s.mu.Unlock()
+	m.Cache = s.cache.Stats()
+	m.Workers = s.cfg.Workers
+	return m
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs          submit {"experiment": id, "options": {...}}
+//	GET  /v1/jobs/{id}     poll a job
+//	GET  /v1/results/{key} fetch a completed result payload
+//	POST /v1/sweeps        fan a job out over an Options grid
+//	GET  /healthz          liveness
+//	GET  /metrics          job and cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.metrics())
+	})
+	return mux
+}
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	Experiment string              `json:"experiment"`
+	Options    experiments.Options `json:"options"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.submit(req.Experiment, req.Options)
+	switch {
+	case err == errQueueFull:
+		writeJSON(w, http.StatusServiceUnavailable, s.snapshot(job))
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, s.snapshot(job))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshot(job))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.cache.Get(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no completed result for key %q", r.PathValue("key")))
+		return
+	}
+	payload, err := entry.Wait()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+// sweepRequest is the POST /v1/sweeps body: the cross product of
+// experiments × trace_lengths × trace_strides becomes one job per grid
+// point. Empty axes default to a single default-valued point.
+type sweepRequest struct {
+	Experiments  []string `json:"experiments"`
+	TraceLengths []int    `json:"trace_lengths"`
+	TraceStrides []int    `json:"trace_strides"`
+}
+
+// maxSweepJobs bounds one sweep request's fan-out.
+const maxSweepJobs = 1024
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Experiments) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one experiment"))
+		return
+	}
+	if len(req.TraceLengths) == 0 {
+		req.TraceLengths = []int{0}
+	}
+	if len(req.TraceStrides) == 0 {
+		req.TraceStrides = []int{0}
+	}
+	if n := len(req.Experiments) * len(req.TraceLengths) * len(req.TraceStrides); n > maxSweepJobs {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep grid has %d points, limit %d", n, maxSweepJobs))
+		return
+	}
+	// Validate the whole grid up front: a bad id must not leave the
+	// valid points already enqueued behind a 400.
+	for _, exp := range req.Experiments {
+		if _, ok := experiments.Lookup(exp); !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown experiment %q (have %s)", exp, experiments.IDList()))
+			return
+		}
+	}
+	var jobs []Job
+	for _, exp := range req.Experiments {
+		for _, length := range req.TraceLengths {
+			for _, stride := range req.TraceStrides {
+				job, err := s.submit(exp, experiments.Options{TraceLength: length, TraceStride: stride})
+				if err == errQueueFull {
+					jobs = append(jobs, s.snapshot(job))
+					continue
+				}
+				if err != nil {
+					writeError(w, http.StatusBadRequest, err)
+					return
+				}
+				jobs = append(jobs, s.snapshot(job))
+			}
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string][]Job{"jobs": jobs})
+}
+
+// decodeStrict parses a JSON body, rejecting unknown fields and
+// trailing garbage so malformed Options fail loudly with a 400.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("bad request body: trailing data")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,471 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"penelope/internal/experiments"
+)
+
+// fakeResult is a minimal experiments.Result for instrumented runners.
+// Its ID must be a real registry id: the server validates experiments
+// against the registry before the runner ever sees them.
+type fakeResult struct {
+	Name string
+	N    int
+}
+
+func (r fakeResult) ID() string         { return r.Name }
+func (r fakeResult) Render(w io.Writer) { fmt.Fprintf(w, "%s %d\n", r.Name, r.N) }
+
+// newTestServer starts an httptest server over a service with the
+// given runner (nil = real registry runner).
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postJSON posts body and decodes the response JSON into out,
+// returning the status code.
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad response JSON %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad response JSON %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob polls until the job reaches a terminal state.
+func pollJob(t *testing.T, base, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var job Job
+		if code := getJSON(t, base+"/v1/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if job.State == StateDone || job.State == StateFailed {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSubmitPollFetch drives the primary flow end to end against the
+// real registry runner: submit fig1, poll to completion, fetch the
+// payload by its content address.
+func TestSubmitPollFetch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	var job Job
+	if code := postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"fig1"}`, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if job.Experiment != "fig1" || job.ID == "" || job.ResultKey == "" {
+		t.Fatalf("bad job: %+v", job)
+	}
+	done := pollJob(t, ts.URL, job.ID)
+	if done.State != StateDone {
+		t.Fatalf("job failed: %+v", done)
+	}
+
+	var payload struct {
+		Schema     int                 `json:"schema"`
+		Experiment string              `json:"experiment"`
+		Options    experiments.Options `json:"options"`
+		Data       struct {
+			LifetimeAt50 float64
+		} `json:"data"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/results/"+job.ResultKey, &payload); code != http.StatusOK {
+		t.Fatalf("fetch result: status %d", code)
+	}
+	if payload.Experiment != "fig1" || payload.Schema != experiments.SchemaVersion {
+		t.Errorf("bad envelope: %+v", payload)
+	}
+	if payload.Data.LifetimeAt50 < 4 {
+		t.Errorf("LifetimeAt50 = %v, want >= 4", payload.Data.LifetimeAt50)
+	}
+	if payload.Options != experiments.DefaultOptions() {
+		t.Errorf("options = %+v, want defaults", payload.Options)
+	}
+}
+
+// TestConcurrentDuplicatesRunOnce submits the same (experiment,
+// Options) from many goroutines while the simulation is gated open, and
+// checks that exactly one simulation ran — the rest deduplicated
+// against the in-flight leader or the completed cache entry.
+func TestConcurrentDuplicatesRunOnce(t *testing.T) {
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers: 4,
+		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+			runs.Add(1)
+			<-gate
+			return fakeResult{Name: experiment, N: 1}, nil
+		},
+	})
+
+	const n = 24
+	jobs := make([]Job, n)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if code := postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"fig4","options":{"trace_length":7000}}`, &jobs[i]); code != http.StatusAccepted {
+				t.Errorf("submit %d: status %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(gate)
+
+	key := jobs[0].ResultKey
+	hits := 0
+	for i := range jobs {
+		if jobs[i].ResultKey != key {
+			t.Fatalf("job %d key %q != %q: duplicates must share one content address", i, jobs[i].ResultKey, key)
+		}
+		done := pollJob(t, ts.URL, jobs[i].ID)
+		if done.State != StateDone {
+			t.Fatalf("job %d failed: %+v", i, done)
+		}
+		if done.CacheHit {
+			hits++
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("%d simulations ran, want exactly 1", got)
+	}
+	if hits != n-1 {
+		t.Errorf("%d jobs marked cache_hit, want %d", hits, n-1)
+	}
+	m := s.metrics()
+	if m.Cache.Misses != 1 || m.Cache.Hits+m.Cache.InflightDedups != n-1 {
+		t.Errorf("cache counters %+v, want 1 miss and %d hits+dedups", m.Cache, n-1)
+	}
+
+	// A fresh submission after completion is a pure cache hit: done in
+	// the submit response itself, no new simulation.
+	var again Job
+	if code := postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"fig4","options":{"trace_length":7000}}`, &again); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if again.State != StateDone || !again.CacheHit {
+		t.Errorf("resubmission not served from cache: %+v", again)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("resubmission ran a simulation (%d total)", got)
+	}
+}
+
+// TestSweepGrid fans one sweep out over an Options grid and checks one
+// job (and one result) per grid point, with overlapping points
+// deduplicated against already-cached results.
+func TestSweepGrid(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 4,
+		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+			runs.Add(1)
+			return fakeResult{Name: experiment, N: o.TraceLength}, nil
+		},
+	})
+
+	var resp struct {
+		Jobs []Job `json:"jobs"`
+	}
+	body := `{"experiments":["fig5","fig6"],"trace_lengths":[3000,4000],"trace_strides":[60]}`
+	if code := postJSON(t, ts.URL+"/v1/sweeps", body, &resp); code != http.StatusAccepted {
+		t.Fatalf("sweep: status %d", code)
+	}
+	if len(resp.Jobs) != 4 {
+		t.Fatalf("sweep returned %d jobs, want one per grid point (4)", len(resp.Jobs))
+	}
+	keys := map[string]bool{}
+	for _, j := range resp.Jobs {
+		done := pollJob(t, ts.URL, j.ID)
+		if done.State != StateDone {
+			t.Fatalf("grid job failed: %+v", done)
+		}
+		keys[j.ResultKey] = true
+		if code := getJSON(t, ts.URL+"/v1/results/"+j.ResultKey, nil); code != http.StatusOK {
+			t.Errorf("result %s: status %d", j.ResultKey, code)
+		}
+	}
+	if len(keys) != 4 {
+		t.Errorf("sweep produced %d distinct results, want 4", len(keys))
+	}
+	if got := runs.Load(); got != 4 {
+		t.Errorf("%d simulations ran, want 4", got)
+	}
+
+	// An overlapping sweep re-uses every cached grid point.
+	if code := postJSON(t, ts.URL+"/v1/sweeps", body, &resp); code != http.StatusAccepted {
+		t.Fatalf("overlapping sweep: status %d", code)
+	}
+	for _, j := range resp.Jobs {
+		if !j.CacheHit {
+			t.Errorf("overlapping sweep job %s not served from cache", j.ID)
+		}
+	}
+	if got := runs.Load(); got != 4 {
+		t.Errorf("overlapping sweep re-ran simulations (%d total)", got)
+	}
+}
+
+// TestOptionsFreeCanonicalized checks that experiments whose drivers
+// ignore Options (fig4 et al.) share one cache entry across every
+// spelling of the request.
+func TestOptionsFreeCanonicalized(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 2,
+		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+			runs.Add(1)
+			return fakeResult{Name: experiment, N: 1}, nil
+		},
+	})
+
+	bodies := []string{
+		`{"experiment":"fig4"}`,
+		`{"experiment":"fig4","options":{"trace_length":4000}}`,
+		`{"experiment":"fig4","options":{"trace_length":8000,"trace_stride":3}}`,
+	}
+	keys := map[string]bool{}
+	for _, body := range bodies {
+		var job Job
+		if code := postJSON(t, ts.URL+"/v1/jobs", body, &job); code != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", body, code)
+		}
+		pollJob(t, ts.URL, job.ID)
+		keys[job.ResultKey] = true
+	}
+	if len(keys) != 1 {
+		t.Errorf("options-free experiment produced %d keys, want 1", len(keys))
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("%d simulations ran for an options-free experiment, want 1", got)
+	}
+}
+
+// TestTerminalJobEviction checks that finished jobs beyond the
+// retention bound stop being pollable while their results stay
+// fetchable from the cache.
+func TestTerminalJobEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:    1,
+		RetainJobs: 2,
+		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+			return fakeResult{Name: experiment, N: o.TraceLength}, nil
+		},
+	})
+
+	var first Job
+	postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"fig6","options":{"trace_length":1000}}`, &first)
+	pollJob(t, ts.URL, first.ID)
+	for _, l := range []int{2000, 3000, 4000} {
+		var job Job
+		postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(`{"experiment":"fig6","options":{"trace_length":%d}}`, l), &job)
+		pollJob(t, ts.URL, job.ID)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+first.ID, nil); code != http.StatusNotFound {
+		t.Errorf("evicted job still pollable: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/results/"+first.ResultKey, nil); code != http.StatusOK {
+		t.Errorf("evicted job's result gone from cache: status %d", code)
+	}
+}
+
+// TestBadRequests exercises the 400/404 paths.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(string, experiments.Options) (experiments.Result, error) {
+		return fakeResult{Name: "fig4"}, nil
+	}})
+
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"malformed JSON", "/v1/jobs", `{"experiment":`, http.StatusBadRequest},
+		{"unknown option field", "/v1/jobs", `{"experiment":"fig4","options":{"trace_len":1}}`, http.StatusBadRequest},
+		{"wrong option type", "/v1/jobs", `{"experiment":"fig4","options":{"trace_length":"big"}}`, http.StatusBadRequest},
+		{"unknown experiment", "/v1/jobs", `{"experiment":"fig99"}`, http.StatusBadRequest},
+		{"trailing garbage", "/v1/jobs", `{"experiment":"fig4"} extra`, http.StatusBadRequest},
+		{"empty sweep", "/v1/sweeps", `{}`, http.StatusBadRequest},
+		{"sweep unknown experiment", "/v1/sweeps", `{"experiments":["nope"]}`, http.StatusBadRequest},
+		{"sweep with one bad id", "/v1/sweeps", `{"experiments":["fig6","nope"],"trace_lengths":[4000,8000]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := postJSON(t, ts.URL+tc.url, tc.body, &e); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		} else if e.Error == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+
+	// A sweep containing one bad id must reject the whole grid before
+	// enqueuing anything: no orphan jobs for the valid points.
+	var m Metrics
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatal("metrics unavailable")
+	}
+	if m.Jobs.Submitted != 0 {
+		t.Errorf("rejected requests enqueued %d jobs, want 0", m.Jobs.Submitted)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/results/deadbeef", nil); code != http.StatusNotFound {
+		t.Errorf("unknown result: status %d, want 404", code)
+	}
+}
+
+// TestFailedJobsRetry checks that a failed run reports its error, does
+// not poison the cache, and a retry can succeed.
+func TestFailedJobsRetry(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+			if calls.Add(1) == 1 {
+				return nil, fmt.Errorf("transient failure")
+			}
+			return fakeResult{Name: experiment, N: 2}, nil
+		},
+	})
+
+	var job Job
+	postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"table3"}`, &job)
+	if done := pollJob(t, ts.URL, job.ID); done.State != StateFailed || done.Error == "" {
+		t.Fatalf("want failed job with error, got %+v", done)
+	}
+	if code := getJSON(t, ts.URL+"/v1/results/"+job.ResultKey, nil); code != http.StatusNotFound {
+		t.Errorf("failed result cached: status %d, want 404", code)
+	}
+
+	postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"table3"}`, &job)
+	if done := pollJob(t, ts.URL, job.ID); done.State != StateDone {
+		t.Fatalf("retry did not run: %+v", done)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("runner called %d times, want 2", got)
+	}
+}
+
+// TestHealthzAndMetrics checks the operational endpoints.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(string, experiments.Options) (experiments.Result, error) {
+		return fakeResult{Name: "mru"}, nil
+	}})
+
+	var h map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, h)
+	}
+
+	var job Job
+	postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"mru"}`, &job)
+	pollJob(t, ts.URL, job.ID)
+	postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"mru"}`, &job)
+
+	var m Metrics
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.Jobs.Submitted != 2 || m.Cache.Misses != 1 || m.Cache.Hits != 1 || m.Cache.Entries != 1 {
+		t.Errorf("metrics = %+v, want 2 submitted, 1 miss, 1 hit, 1 entry", m)
+	}
+	if m.Workers != 1 {
+		t.Errorf("workers = %d", m.Workers)
+	}
+}
+
+// TestRenderedPayloadMatchesRun pins the service payload to the -json
+// CLI payload: the same experiment under the same options marshals to
+// the same bytes whether it went through the HTTP API or through
+// `penelope run -json`.
+func TestRenderedPayloadMatchesRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	var job Job
+	if code := postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"table2"}`, &job); code != http.StatusAccepted {
+		t.Fatal("submit failed")
+	}
+	pollJob(t, ts.URL, job.ID)
+	resp, err := http.Get(ts.URL + "/v1/results/" + job.ResultKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := experiments.Run("table2", experiments.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.NewPayload(res, experiments.DefaultOptions()).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("service payload diverges from direct marshal:\n%s\nvs\n%s", got, want)
+	}
+}
