@@ -1,7 +1,7 @@
 // Package penelope_test is the benchmark harness of the reproduction:
 // one benchmark per paper table/figure (regenerating its data and
 // reporting the headline quantity via ReportMetric) plus ablation
-// benchmarks for the design choices called out in DESIGN.md §5.
+// benchmarks for the design choices called out in DESIGN.md §7.
 //
 // Run with: go test -bench=. -benchmem
 package penelope_test
@@ -14,7 +14,9 @@ import (
 
 	"penelope/internal/adder"
 	"penelope/internal/cache"
+	"penelope/internal/circuit"
 	"penelope/internal/experiments"
+	"penelope/internal/lifetime"
 	"penelope/internal/metric"
 	"penelope/internal/nbti"
 	"penelope/internal/pipeline"
@@ -221,6 +223,64 @@ func BenchmarkRunBatch(b *testing.B) {
 		})
 	}
 	_ = totalUops
+}
+
+// fleetBenchConfig builds a lifetime engine config with synthetic duty
+// profiles, skipping the workload measurement so only the engine is
+// timed.
+func fleetBenchConfig(pop int, years float64) lifetime.Config {
+	p := lifetime.DefaultParams()
+	return lifetime.Config{
+		Structures: []string{"adder", "int-regfile", "fp-regfile", "scheduler"},
+		Phases: []lifetime.Phase{
+			{Name: "service", Years: years, Duty: []float64{0.9, 0.8, 0.95, 1.0}},
+		},
+		Population: pop,
+		EpochYears: 30 / 365.25,
+		Seed:       9,
+		Sigma:      0.08,
+		Limit:      lifetime.DefaultLimit,
+		Params:     p,
+		Delay:      circuit.NewDelayModel(circuit.PathStats{Depth: 21, Narrow: 18}, p.MaxVTHShift, p.MaxGuardband),
+	}
+}
+
+// BenchmarkFleetEpoch measures one epoch of a 100k-chip fleet — the
+// inner loop of the lifetime engine — reported as chip-epochs/s.
+func BenchmarkFleetEpoch(b *testing.B) {
+	const pop = 100_000
+	cfg := fleetBenchConfig(pop, 1000)
+	eng, err := lifetime.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng.Done() {
+			b.StopTimer()
+			eng, _ = lifetime.New(cfg)
+			b.StartTimer()
+		}
+		eng.Step(0)
+	}
+	b.ReportMetric(float64(pop*b.N)/b.Elapsed().Seconds(), "chip-epochs/s")
+}
+
+// BenchmarkLifetimeTrajectory measures a full 20k-chip, 7-year fleet
+// run per iteration and reports the end-of-life mean guardband.
+func BenchmarkLifetimeTrajectory(b *testing.B) {
+	const pop = 20_000
+	cfg := fleetBenchConfig(pop, 7)
+	var final float64
+	for i := 0; i < b.N; i++ {
+		eng, err := lifetime.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := eng.Run(0)
+		final = stats[len(stats)-1].MeanGuardband
+	}
+	b.ReportMetric(final*100, "guardband%")
 }
 
 // BenchmarkAblationRINVPeriod sweeps the RINV refresh period (DESIGN.md

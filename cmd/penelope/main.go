@@ -7,11 +7,15 @@
 //	penelope run -experiment all
 //	penelope run -experiment fig4 -json
 //	penelope run -experiment table3 -length 20000 -stride 8
+//	penelope run -experiment lifetime -population 100000 -years 7 -attack-years 1
+//	penelope run -experiment lifetime -checkpoint fleet.ckpt -workers 8
 //	penelope serve -addr :8080
 //
 // The experiment list comes from the experiments registry (run
 // `penelope run -h`). Length is uops per trace; stride subsamples the
-// 531-trace workload (1 = full workload, as in the paper — slow).
+// 531-trace workload (1 = full workload, as in the paper — slow). The
+// fleet flags parameterize the lifetime/yield experiments; -checkpoint
+// makes a long lifetime run resumable.
 // Invoking penelope with flags but no subcommand behaves like `run`.
 package main
 
@@ -73,6 +77,17 @@ func runCmd(args []string) {
 		length = fs.Int("length", 0, "uops per trace (default 12000)")
 		stride = fs.Int("stride", 0, "workload subsampling stride (default 12; 1 = all 531 traces)")
 		asJSON = fs.Bool("json", false, "emit structured JSON payloads (one per line) instead of text")
+
+		population = fs.Int("population", 0, "fleet size for lifetime/yield (default 5000)")
+		years      = fs.Float64("years", 0, "simulated service life in years (default 7)")
+		epochDays  = fs.Float64("epoch-days", 0, "lifetime engine epoch length in days (default 30)")
+		sigma      = fs.Float64("sigma", 0, "process-variation sigma (default 0.08; negative disables variation)")
+		attack     = fs.Float64("attack-years", 0, "wearout-attack phase length in years (default none)")
+		fleetSeed  = fs.Uint64("fleet-seed", 0, "per-chip sampling seed (default 1)")
+		workers    = fs.Int("workers", 0, "lifetime engine worker count (default GOMAXPROCS; results identical for any value)")
+
+		checkpoint = fs.String("checkpoint", "", "lifetime only: checkpoint file; resumes if it exists")
+		ckptEvery  = fs.Int("checkpoint-every", 16, "epochs between checkpoint writes")
 	)
 	fs.Parse(args)
 
@@ -83,6 +98,30 @@ func runCmd(args []string) {
 	if *stride > 0 {
 		opts.TraceStride = *stride
 	}
+	if *population > 0 {
+		opts.Population = *population
+	}
+	if *years > 0 {
+		opts.Years = *years
+	}
+	if *epochDays > 0 {
+		opts.EpochDays = *epochDays
+	}
+	if *sigma != 0 {
+		opts.VariationSigma = *sigma
+	}
+	if *attack > 0 {
+		opts.AttackYears = *attack
+	}
+	if *fleetSeed != 0 {
+		opts.FleetSeed = *fleetSeed
+	}
+	opts.Workers = *workers
+
+	if *checkpoint != "" && *exp != "lifetime" {
+		fmt.Fprintln(os.Stderr, "-checkpoint only applies to -experiment lifetime")
+		os.Exit(2)
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -90,10 +129,15 @@ func runCmd(args []string) {
 	}
 	w := os.Stdout
 	for _, id := range ids {
-		res, err := experiments.Run(id, opts)
+		var res experiments.Result
+		var err error
+		if *checkpoint != "" {
+			res, err = experiments.LifetimeCheckpointed(opts, *checkpoint, *ckptEvery)
+		} else {
+			res, err = experiments.Run(id, opts)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			fs.Usage()
 			os.Exit(2)
 		}
 		if *asJSON {

@@ -1,0 +1,139 @@
+package circuit
+
+import "math"
+
+// PathStats describes the critical (deepest) combinational path of a
+// netlist: the number of gates along the longest input→output chain and
+// how many of them carry narrow PMOS transistors. NBTI only slows the
+// narrow devices (§2.1 "Geometry"), so the narrow fraction of the
+// critical path is what converts an accumulated VTH shift into a
+// cycle-time guardband (DelayModel).
+type PathStats struct {
+	Depth  int `json:"depth"`  // gates on the critical path
+	Narrow int `json:"narrow"` // critical-path gates with narrow PMOS
+}
+
+// NarrowFraction returns the fraction of the critical path's gates that
+// carry narrow PMOS transistors.
+func (s PathStats) NarrowFraction() float64 {
+	if s.Depth == 0 {
+		return 0
+	}
+	return float64(s.Narrow) / float64(s.Depth)
+}
+
+// CriticalPath computes the deepest gate chain from any primary input or
+// constant to any signal, counting each logic gate as one unit delay.
+// Input and constant pseudo-gates contribute no depth. Ties are broken
+// toward the earliest-built gate, so the result is deterministic for a
+// deterministic builder.
+func (n *Netlist) CriticalPath() PathStats {
+	depth := make([]int32, n.NumSignals())
+	from := make([]int32, n.NumSignals()) // predecessor signal on the deepest path, -1 at sources
+	for i := range from {
+		from[i] = -1
+	}
+	deepest := int32(-1) // signal ending the critical path
+	// Gates are appended in build order, which is topological: a gate's
+	// inputs always exist before the gate, so one forward pass suffices.
+	for _, g := range n.Gates() {
+		if g.Kind == KindInput || g.Kind == KindConst {
+			continue
+		}
+		best := int32(-1)
+		d := int32(0)
+		for _, in := range g.In {
+			if depth[in] > d || best < 0 {
+				d = depth[in]
+				best = int32(in)
+			}
+		}
+		out := int32(g.Out)
+		depth[out] = d + 1
+		from[out] = best
+		if deepest < 0 || depth[out] > depth[deepest] {
+			deepest = out
+		}
+	}
+	var stats PathStats
+	for s := deepest; s >= 0; s = from[s] {
+		g := n.Gate(Signal(s))
+		if g.Kind == KindInput || g.Kind == KindConst {
+			break
+		}
+		stats.Depth++
+		if !g.Wide {
+			stats.Narrow++
+		}
+	}
+	return stats
+}
+
+// DelayModel maps an accumulated relative VTH shift to the cycle-time
+// guardband a block needs, through a first-order gate-delay model of the
+// compiled circuit: each NBTI-susceptible (narrow-PMOS) gate on the
+// critical path slows by 1/(1-Sensitivity·shift) — the alpha-power-law
+// response linearized around the nominal operating point — while wide
+// gates are unaffected. With Susceptible the fraction of critical-path
+// delay on narrow gates, the path delay ratio is
+//
+//	ratio(shift) = (1-Susceptible) + Susceptible/(1 - Sensitivity·shift)
+//
+// and the guardband is ratio-1: zero for a fresh circuit and convex
+// increasing in the shift.
+type DelayModel struct {
+	// Susceptible is the fraction of critical-path delay carried by
+	// narrow-PMOS gates.
+	Susceptible float64 `json:"susceptible"`
+	// Sensitivity is the per-gate delay sensitivity to relative VTH
+	// shift, calibrated so the end-of-life DC-stress shift costs exactly
+	// the measured worst-case guardband.
+	Sensitivity float64 `json:"sensitivity"`
+	// MaxShift is the shift the model was calibrated at; larger shifts
+	// are clamped (the linearization is not valid far beyond it, and the
+	// clamp keeps the mapping total).
+	MaxShift float64 `json:"max_shift"`
+}
+
+// NewDelayModel calibrates a delay model for a circuit with the given
+// critical path: Guardband(maxShift) = maxGuardband exactly, anchoring
+// the model to the same end-of-life measurement the nbti calibration
+// layer uses (20% guardband at the 10% DC-stress VTH shift).
+func NewDelayModel(path PathStats, maxShift, maxGuardband float64) DelayModel {
+	if maxShift <= 0 || maxGuardband <= 0 {
+		panic("circuit: delay model anchors must be positive")
+	}
+	f := path.NarrowFraction()
+	if f <= 0 {
+		// A path with no susceptible gates never ages; keep the model
+		// total with a zero response.
+		return DelayModel{MaxShift: maxShift}
+	}
+	// Solve (f/(1-k·maxShift)) - f = maxGuardband for k.
+	k := maxGuardband / ((f + maxGuardband) * maxShift)
+	return DelayModel{Susceptible: f, Sensitivity: k, MaxShift: maxShift}
+}
+
+// Guardband returns the cycle-time guardband required at the given
+// relative VTH shift. Shifts beyond ~2x the calibration anchor clamp so
+// the response stays finite under extreme process variation.
+func (m DelayModel) Guardband(shift float64) float64 {
+	if shift <= 0 || m.Susceptible == 0 {
+		return 0
+	}
+	if max := 2 * m.MaxShift; shift > max {
+		shift = max
+	}
+	den := 1 - m.Sensitivity*shift
+	if den < 0.1 {
+		den = 0.1
+	}
+	return m.Susceptible/den - m.Susceptible
+}
+
+// Valid reports whether the model came from NewDelayModel (or is the
+// zero-response model) rather than an uninitialized struct.
+func (m DelayModel) Valid() bool {
+	return m.MaxShift > 0 && m.Susceptible >= 0 && m.Susceptible <= 1 &&
+		m.Sensitivity >= 0 && !math.IsNaN(m.Sensitivity)
+}

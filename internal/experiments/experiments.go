@@ -25,21 +25,82 @@ type Options struct {
 	// TraceStride subsamples the 531-trace workload: 1 runs everything,
 	// n runs every n-th trace, preserving the suite mix.
 	TraceStride int `json:"trace_stride"`
+
+	// Fleet lifetime knobs, consumed by the lifetime and yield
+	// experiments (the per-workload drivers ignore them).
+
+	// Population is the number of simulated chips in the fleet.
+	Population int `json:"population"`
+	// Years is the simulated service life.
+	Years float64 `json:"years"`
+	// EpochDays is the aggregation step of the lifetime engine: one
+	// fleet statistics row per epoch.
+	EpochDays float64 `json:"epoch_days"`
+	// VariationSigma is the lognormal process-variation spread of the
+	// per-chip NBTI parameters. Negative disables variation entirely
+	// (zero, like the other fields, normalizes to the default).
+	VariationSigma float64 `json:"variation_sigma"`
+	// AttackYears inserts an adversarial wearout-attack phase
+	// (maximum stress duty on every structure) of this length in the
+	// middle of the service life. 0 = no attack.
+	AttackYears float64 `json:"attack_years"`
+	// FleetSeed roots the deterministic per-chip parameter sampling.
+	FleetSeed uint64 `json:"fleet_seed"`
+
+	// Workers caps the lifetime engine's shard fan-out (0 =
+	// GOMAXPROCS). Results are bit-identical for every value, so it is
+	// execution policy, not an experiment parameter: it is excluded
+	// from Key and from the JSON payload envelope, and the HTTP API
+	// cannot set it.
+	Workers int `json:"-"`
 }
 
 // DefaultOptions returns the settings used by the checked-in experiment
 // outputs: every 12th trace (45 traces across all ten suites), 12000
-// uops each.
+// uops each; a 5000-chip fleet aged 7 years in 30-day epochs with 8%
+// process variation and no attack phase.
 func DefaultOptions() Options {
-	return Options{TraceLength: 12000, TraceStride: 12}
+	return Options{
+		TraceLength: 12000, TraceStride: 12,
+		Population: 5000, Years: 7, EpochDays: 30,
+		VariationSigma: 0.08, AttackYears: 0, FleetSeed: 1,
+	}
 }
 
 func (o Options) normalized() Options {
+	def := DefaultOptions()
 	if o.TraceLength <= 0 {
-		o.TraceLength = DefaultOptions().TraceLength
+		o.TraceLength = def.TraceLength
 	}
 	if o.TraceStride <= 0 {
-		o.TraceStride = DefaultOptions().TraceStride
+		o.TraceStride = def.TraceStride
+	}
+	if o.Population <= 0 {
+		o.Population = def.Population
+	}
+	if o.Years <= 0 {
+		o.Years = def.Years
+	}
+	if o.EpochDays <= 0 {
+		o.EpochDays = def.EpochDays
+	}
+	switch {
+	case o.VariationSigma < 0:
+		o.VariationSigma = 0
+	case o.VariationSigma == 0:
+		o.VariationSigma = def.VariationSigma
+	}
+	if o.AttackYears < 0 {
+		o.AttackYears = 0
+	}
+	if o.AttackYears > o.Years {
+		o.AttackYears = o.Years
+	}
+	if o.FleetSeed == 0 {
+		o.FleetSeed = def.FleetSeed
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
 	}
 	return o
 }
@@ -53,8 +114,18 @@ func (o Options) Normalized() Options { return o.normalized() }
 // defaulted fields normalize first, so every Options value that runs
 // the same workload maps to the same key. The experiment service keys
 // its result cache on it (combined with the experiment id), and the
-// per-process bank cache below shares the same canonical form.
+// per-process bank cache below keys on the trace-only prefix
+// (traceKey). Workers is execution policy and deliberately absent.
 func (o Options) Key() string {
+	o = o.normalized()
+	return fmt.Sprintf("%s,pop=%d,years=%g,epoch=%g,sigma=%g,attack=%g,seed=%d",
+		o.traceKey(), o.Population, o.Years, o.EpochDays,
+		o.VariationSigma, o.AttackYears, o.FleetSeed)
+}
+
+// traceKey canonicalizes only the workload-shaping fields — the part of
+// the key the recording bank and the fleet duty profiles depend on.
+func (o Options) traceKey() string {
 	o = o.normalized()
 	return fmt.Sprintf("length=%d,stride=%d", o.TraceLength, o.TraceStride)
 }
@@ -69,23 +140,24 @@ var defaultBank = sync.OnceValue(func() *trace.Bank {
 })
 
 // bankCache memoizes banks for non-default Options (keyed by the
-// canonical Options.Key), so benchmark and test sweeps that re-run a
-// driver with the same custom workload also synthesize it only once —
-// including Options values that only differ in zero/defaulted fields.
+// canonical trace-only key, so fleet-knob variants share one bank), so
+// benchmark and test sweeps that re-run a driver with the same custom
+// workload also synthesize it only once — including Options values that
+// only differ in zero/defaulted fields.
 // Entries live for the process — the experiment drivers see a handful
 // of Options values, and a bank is exactly what repeated sweeps want
 // resident. The cache holds once-functions, not banks, so concurrent
 // first users of one Options value never synthesize the same workload
 // twice.
-var bankCache sync.Map // Options.Key() -> func() *trace.Bank
+var bankCache sync.Map // Options.traceKey() -> func() *trace.Bank
 
 // bank returns the process-wide recording bank for o.
 func (o Options) bank() *trace.Bank {
 	o = o.normalized()
-	if o == DefaultOptions() {
+	if def := DefaultOptions(); o.TraceLength == def.TraceLength && o.TraceStride == def.TraceStride {
 		return defaultBank()
 	}
-	key := o.Key()
+	key := o.traceKey()
 	if f, ok := bankCache.Load(key); ok {
 		return f.(func() *trace.Bank)()
 	}

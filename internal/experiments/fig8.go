@@ -59,9 +59,17 @@ func fig8(traces []trace.Source) Fig8Result {
 // averaging happens in trace order, keeping the floats bit-identical to
 // a serial sweep.
 func aggregateSchedReports(cfg pipeline.Config, traces []trace.Source) sched.Report {
+	return meanSchedReports(pipeline.RunBatch(cfg, traces, 0))
+}
+
+// meanSchedReports averages the scheduler reports of already-run
+// pipeline results, in result order. Shared between Fig 8 and the fleet
+// duty profiler, which reuses one batch of results for several
+// structures.
+func meanSchedReports(results []pipeline.Result) sched.Report {
 	var agg sched.Report
 	n := 0
-	for _, res := range pipeline.RunBatch(cfg, traces, 0) {
+	for _, res := range results {
 		r := res.Sched
 		if n == 0 {
 			agg = r

@@ -11,10 +11,10 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the committed JSON goldens")
 
-// goldenOptions matches the replay golden tests: a light workload so
-// the whole registry runs in seconds.
+// goldenOptions matches the replay golden tests: a light workload and a
+// small fleet so the whole registry runs in seconds.
 func goldenOptions() Options {
-	return Options{TraceLength: 2000, TraceStride: 90}
+	return Options{TraceLength: 2000, TraceStride: 90, Population: 600}
 }
 
 // TestResultJSONDeterministic runs every registry experiment once and
@@ -60,14 +60,14 @@ func TestResultJSONDeterministic(t *testing.T) {
 	}
 }
 
-// TestResultJSONGolden pins the Fig 6 and Fig 8 payloads against
-// committed goldens: the simulation is deterministic, so the marshaled
-// bytes must reproduce exactly across processes and machines. Refresh
-// with `go test ./internal/experiments -run Golden -update` after an
-// intentional schema or simulation change.
+// TestResultJSONGolden pins the Fig 6, Fig 8 and fleet lifetime/yield
+// payloads against committed goldens: the simulation is deterministic,
+// so the marshaled bytes must reproduce exactly across processes and
+// machines. Refresh with `go test ./internal/experiments -run Golden
+// -update` after an intentional schema or simulation change.
 func TestResultJSONGolden(t *testing.T) {
 	o := goldenOptions()
-	for _, id := range []string{"fig6", "fig8"} {
+	for _, id := range []string{"fig6", "fig8", "lifetime", "yield"} {
 		res, err := Run(id, o)
 		if err != nil {
 			t.Fatal(err)

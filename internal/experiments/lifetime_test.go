@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"penelope/internal/lifetime"
+)
+
+// fleetOptions is a light workload and small fleet for the lifetime
+// driver tests.
+func fleetOptions() Options {
+	return Options{
+		TraceLength: 2000, TraceStride: 120,
+		Population: 900, Years: 3, EpochDays: 45,
+		VariationSigma: 0.1, AttackYears: 1, FleetSeed: 5,
+	}
+}
+
+func marshalLifetime(t *testing.T, r LifetimeResult, o Options) []byte {
+	t.Helper()
+	payload, err := NewPayload(r, o).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestLifetimeWorkerInvariance requires the lifetime payload to be
+// byte-identical for any engine worker count — Workers is execution
+// policy, not an experiment parameter.
+func TestLifetimeWorkerInvariance(t *testing.T) {
+	// computeLifetime bypasses the trajectory memo: the point is that
+	// re-running with different worker counts produces the same bytes.
+	o := fleetOptions().Normalized()
+	o.Workers = 1
+	want := marshalLifetime(t, computeLifetime(o), o)
+	for _, workers := range []int{2, 7} {
+		o.Workers = workers
+		if got := marshalLifetime(t, computeLifetime(o), o); !bytes.Equal(got, want) {
+			t.Fatalf("lifetime payload with %d workers diverges from serial run", workers)
+		}
+	}
+}
+
+// TestLifetimeMemoized checks yield and repeated lifetime calls share
+// one fleet simulation: the memoized result is the same value.
+func TestLifetimeMemoized(t *testing.T) {
+	o := fleetOptions()
+	a, b := Lifetime(o), Lifetime(o)
+	if len(a.Baseline.Epochs) == 0 || &a.Baseline.Epochs[0] != &b.Baseline.Epochs[0] {
+		t.Error("repeated Lifetime calls re-ran the fleet simulation")
+	}
+}
+
+// TestLifetimeRenderShortRun covers sub-year trajectories: the yearly
+// subsample must still render (it once indexed an empty slice).
+func TestLifetimeRenderShortRun(t *testing.T) {
+	o := fleetOptions()
+	o.Years = 0.4
+	o.AttackYears = 0
+	o.Population = 200
+	r := Lifetime(o)
+	var buf bytes.Buffer
+	r.Render(&buf)
+	Yield(o).Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// TestLifetimeResultShape sanity-checks the experiment against the
+// paper's argument: mitigation must lower the end-of-life guardband,
+// the attack phase must appear in the schedule, and both fleets must
+// cover the full service life.
+func TestLifetimeResultShape(t *testing.T) {
+	o := fleetOptions()
+	r := Lifetime(o)
+	if len(r.Structures) != 4 {
+		t.Fatalf("expected 4 profiled structures, got %v", r.Structures)
+	}
+	for _, s := range r.Structures {
+		if !(s.Penelope <= s.Baseline) {
+			t.Errorf("structure %s: mitigation raised the duty (%.3f -> %.3f)", s.Name, s.Baseline, s.Penelope)
+		}
+		if s.Baseline < 0.5 || s.Baseline > 1 {
+			t.Errorf("structure %s: baseline duty %.3f out of worst-case range", s.Name, s.Baseline)
+		}
+	}
+	if !(r.Penelope.FinalMeanGuardband < r.Baseline.FinalMeanGuardband) {
+		t.Errorf("penelope fleet guardband %.4f not below baseline %.4f",
+			r.Penelope.FinalMeanGuardband, r.Baseline.FinalMeanGuardband)
+	}
+	if len(r.Baseline.Epochs) != len(r.Penelope.Epochs) || len(r.Baseline.Epochs) == 0 {
+		t.Fatalf("fleet trajectories diverge in length: %d vs %d",
+			len(r.Baseline.Epochs), len(r.Penelope.Epochs))
+	}
+	sawAttack := false
+	for _, st := range r.Baseline.Epochs {
+		if st.Phase == "attack" {
+			sawAttack = true
+		}
+	}
+	if !sawAttack {
+		t.Error("attack phase missing from the schedule despite AttackYears")
+	}
+	if r.CriticalPath.Depth == 0 || !r.DelayModel.Valid() {
+		t.Errorf("delay model not derived from the compiled adder: %+v %+v", r.CriticalPath, r.DelayModel)
+	}
+}
+
+// TestLifetimeCheckpointResume is the end-to-end checkpoint guarantee:
+// a run checkpointed mid-flight at epoch k and resumed — with a
+// different worker count — produces a payload byte-identical to an
+// uninterrupted run.
+func TestLifetimeCheckpointResume(t *testing.T) {
+	o := fleetOptions()
+	o.Workers = 2
+	want := marshalLifetime(t, Lifetime(o), o)
+
+	for _, k := range []int{1, 5} {
+		path := filepath.Join(t.TempDir(), "fleet.ckpt")
+		// Interrupt: step both fleets to epoch k and checkpoint, exactly
+		// as a killed LifetimeCheckpointed run would have left the file.
+		duties := o.Normalized().fleetDuties()
+		engB, err := lifetime.New(o.Normalized().fleetConfig(duties, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engP, err := lifetime.New(o.Normalized().fleetConfig(duties, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			engB.Step(1)
+			engP.Step(1)
+		}
+		if err := writeFleetPair(path, engB, engP); err != nil {
+			t.Fatal(err)
+		}
+
+		o.Workers = 5
+		res, err := LifetimeCheckpointed(o, path, 2)
+		if err != nil {
+			t.Fatalf("resume from epoch %d: %v", k, err)
+		}
+		if got := marshalLifetime(t, res, o); !bytes.Equal(got, want) {
+			t.Fatalf("resume from epoch %d: payload not byte-identical to uninterrupted run", k)
+		}
+		// The completed run leaves a final checkpoint; re-running resumes
+		// from the finished state and still answers identically.
+		res, err = LifetimeCheckpointed(o, path, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := marshalLifetime(t, res, o); !bytes.Equal(got, want) {
+			t.Fatal("re-run from completed checkpoint diverged")
+		}
+	}
+}
+
+// TestLifetimeCheckpointRejectsMismatch requires a stale checkpoint
+// from different options to fail loudly instead of answering.
+func TestLifetimeCheckpointRejectsMismatch(t *testing.T) {
+	o := fleetOptions()
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	if _, err := LifetimeCheckpointed(o, path, 4); err != nil {
+		t.Fatal(err)
+	}
+	other := o
+	other.Population = o.Population + 1
+	if _, err := LifetimeCheckpointed(other, path, 4); err == nil ||
+		!strings.Contains(err.Error(), "different options") {
+		t.Fatalf("mismatched checkpoint accepted (err = %v)", err)
+	}
+	// Corrupt magic fails loudly too.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LifetimeCheckpointed(o, path, 4); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestFleetDutiesMemoized checks the per-workload duty profile is
+// measured once and shared, like the recording bank.
+func TestFleetDutiesMemoized(t *testing.T) {
+	a := Options{TraceLength: 900, TraceStride: 531}.fleetDuties()
+	b := Options{TraceLength: 900, TraceStride: 531, Population: 42}.fleetDuties()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Error("same workload re-measured for different fleet knobs")
+	}
+}
+
+// TestYieldConsistent checks the yield curve is exactly the complement
+// of the lifetime violation trajectory.
+func TestYieldConsistent(t *testing.T) {
+	o := fleetOptions()
+	life := Lifetime(o)
+	y := Yield(o)
+	if len(y.Curve) != len(life.Baseline.Epochs) {
+		t.Fatalf("yield curve has %d points for %d epochs", len(y.Curve), len(life.Baseline.Epochs))
+	}
+	for i, pt := range y.Curve {
+		if pt.Baseline != 1-life.Baseline.Epochs[i].ViolatedFraction ||
+			pt.Penelope != 1-life.Penelope.Epochs[i].ViolatedFraction {
+			t.Fatalf("yield point %d inconsistent with lifetime run", i)
+		}
+	}
+	if y.BaselineLifetime > 0 && y.PenelopeLifetime > 0 && y.PenelopeLifetime < y.BaselineLifetime {
+		t.Errorf("penelope fleet died sooner: %.2f vs %.2f years", y.PenelopeLifetime, y.BaselineLifetime)
+	}
+}
+
+// TestFleetOptionsNormalization covers the fleet knobs' canonical form:
+// zeros take defaults, negative sigma disables variation, attack spans
+// clamp to the service life.
+func TestFleetOptionsNormalization(t *testing.T) {
+	def := DefaultOptions()
+	n := (Options{}).Normalized()
+	if n.Population != def.Population || n.Years != def.Years ||
+		n.EpochDays != def.EpochDays || n.VariationSigma != def.VariationSigma ||
+		n.FleetSeed != def.FleetSeed {
+		t.Errorf("zero options normalized to %+v, want defaults %+v", n, def)
+	}
+	if got := (Options{VariationSigma: -1}).Normalized().VariationSigma; got != 0 {
+		t.Errorf("negative sigma normalized to %g, want 0 (disabled)", got)
+	}
+	if got := (Options{Years: 2, AttackYears: 5}).Normalized().AttackYears; got != 2 {
+		t.Errorf("oversized attack normalized to %g years, want clamp to 2", got)
+	}
+	// Workers never reaches the cache key or the payload envelope.
+	a, b := Options{Workers: 1}, Options{Workers: 8}
+	if a.Key() != b.Key() {
+		t.Error("Workers leaked into the cache key")
+	}
+	// Fleet knobs do reach the key.
+	if (Options{Population: 100}).Key() == (Options{Population: 200}).Key() {
+		t.Error("population missing from the cache key")
+	}
+}

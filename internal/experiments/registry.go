@@ -19,7 +19,29 @@ type ExperimentSpec struct {
 	// canonicalizes their requests to the defaults so every spelling of
 	// such an experiment shares one cache entry and one simulation.
 	OptionsFree bool
-	Run         func(Options) Result
+	// Fleet marks drivers that consume the fleet lifetime knobs. For
+	// every other experiment those knobs are irrelevant, and
+	// CanonicalOptions resets them so fleet-axis sweeps never re-run an
+	// identical trace-only simulation under a different key.
+	Fleet bool
+	Run   func(Options) Result
+}
+
+// CanonicalOptions reduces o to the fields the experiment actually
+// consumes: options-free drivers collapse to the defaults, and
+// non-fleet drivers drop the fleet knobs. Requests that would run the
+// same simulation therefore share one cache key.
+func (s ExperimentSpec) CanonicalOptions(o Options) Options {
+	o = o.Normalized()
+	if s.OptionsFree {
+		return DefaultOptions()
+	}
+	if !s.Fleet {
+		def := DefaultOptions()
+		o.Population, o.Years, o.EpochDays = def.Population, def.Years, def.EpochDays
+		o.VariationSigma, o.AttackYears, o.FleetSeed = def.VariationSigma, def.AttackYears, def.FleetSeed
+	}
+	return o
 }
 
 // registry lists every experiment in report order: the order
@@ -52,6 +74,10 @@ var registry = []ExperimentSpec{
 		Run: func(o Options) Result { return Latch(o) }},
 	{ID: "vmin", Description: "extension: Vmin and energy benefit of balanced cells (§1, §5)",
 		Run: func(o Options) Result { return Vmin(Fig6(o), Fig8(o)) }},
+	{ID: "lifetime", Fleet: true, Description: "fleet lifetime: multi-year guardband trajectory under process variation, baseline vs Penelope",
+		Run: func(o Options) Result { return Lifetime(o) }},
+	{ID: "yield", Fleet: true, Description: "fleet lifetime-yield curve at the provisioned guardband budget",
+		Run: func(o Options) Result { return Yield(o) }},
 }
 
 // Experiments returns the registry in report order. The slice is

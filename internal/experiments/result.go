@@ -21,7 +21,8 @@ type Result interface {
 
 // SchemaVersion tags every marshaled payload so clients can detect
 // schema changes. Bump it whenever a result struct changes shape.
-const SchemaVersion = 1
+// Version 2: Options gained the fleet lifetime knobs.
+const SchemaVersion = 2
 
 // Payload is the envelope every marshaled result ships in: which
 // experiment produced it, under which (normalized) options, and the
@@ -93,3 +94,9 @@ func (LatchResult) ID() string { return "latch" }
 
 // ID returns "vmin".
 func (VminResult) ID() string { return "vmin" }
+
+// ID returns "lifetime".
+func (LifetimeResult) ID() string { return "lifetime" }
+
+// ID returns "yield".
+func (YieldResult) ID() string { return "yield" }

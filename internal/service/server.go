@@ -93,12 +93,10 @@ func (s *Server) submit(experiment string, o experiments.Options) (*Job, error) 
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (have %s)", experiment, experiments.IDList())
 	}
-	o = o.Normalized()
-	if spec.OptionsFree {
-		// The driver ignores Options: canonicalize to the defaults so
-		// every spelling shares one cache entry and one simulation.
-		o = experiments.DefaultOptions()
-	}
+	// Canonicalize to the fields the driver consumes (defaults for
+	// options-free drivers, fleet knobs dropped for trace-only ones) so
+	// every spelling of the same simulation shares one cache entry.
+	o = spec.CanonicalOptions(o)
 	key := ResultKey(experiment, o)
 
 	s.mu.Lock()
@@ -233,6 +231,7 @@ func (s *Server) metrics() Metrics {
 
 // Handler returns the HTTP API:
 //
+//	GET  /v1/experiments   list the experiment registry
 //	POST /v1/jobs          submit {"experiment": id, "options": {...}}
 //	GET  /v1/jobs/{id}     poll a job
 //	GET  /v1/results/{key} fetch a completed result payload
@@ -241,6 +240,7 @@ func (s *Server) metrics() Metrics {
 //	GET  /metrics          job and cache counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
@@ -252,6 +252,29 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.metrics())
 	})
 	return mux
+}
+
+// ExperimentInfo is one row of the GET /v1/experiments listing — the
+// registry projected for clients, so they can discover experiment ids
+// without reading CLI help text.
+type ExperimentInfo struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+	OptionsFree bool   `json:"options_free"`
+	// Fleet marks experiments that consume the fleet lifetime knobs;
+	// for the others those knobs are canonicalized away, so a
+	// fleet-axis sweep over them collapses to one cached point.
+	Fleet bool `json:"fleet"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	specs := experiments.Experiments()
+	infos := make([]ExperimentInfo, len(specs))
+	for i, spec := range specs {
+		infos[i] = ExperimentInfo{ID: spec.ID, Description: spec.Description,
+			OptionsFree: spec.OptionsFree, Fleet: spec.Fleet}
+	}
+	writeJSON(w, http.StatusOK, map[string][]ExperimentInfo{"experiments": infos})
 }
 
 // jobRequest is the POST /v1/jobs body.
@@ -305,12 +328,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // sweepRequest is the POST /v1/sweeps body: the cross product of
-// experiments × trace_lengths × trace_strides becomes one job per grid
-// point. Empty axes default to a single default-valued point.
+// experiments × trace_lengths × trace_strides × populations ×
+// variation_sigmas × years becomes one job per grid point. Empty axes
+// default to a single default-valued point, so sweeps over trace
+// options alone behave exactly as before the fleet axes existed.
 type sweepRequest struct {
 	Experiments  []string `json:"experiments"`
 	TraceLengths []int    `json:"trace_lengths"`
 	TraceStrides []int    `json:"trace_strides"`
+
+	// Fleet axes, consumed by the lifetime/yield experiments.
+	Populations     []int     `json:"populations"`
+	VariationSigmas []float64 `json:"variation_sigmas"`
+	Years           []float64 `json:"years"`
 }
 
 // maxSweepJobs bounds one sweep request's fan-out.
@@ -332,7 +362,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.TraceStrides) == 0 {
 		req.TraceStrides = []int{0}
 	}
-	if n := len(req.Experiments) * len(req.TraceLengths) * len(req.TraceStrides); n > maxSweepJobs {
+	if len(req.Populations) == 0 {
+		req.Populations = []int{0}
+	}
+	if len(req.VariationSigmas) == 0 {
+		req.VariationSigmas = []float64{0}
+	}
+	if len(req.Years) == 0 {
+		req.Years = []float64{0}
+	}
+	// Bound each axis before multiplying: any axis longer than the grid
+	// cap already exceeds it, and capped axes keep the product far from
+	// int overflow (1024^6 < 2^63).
+	n := 1
+	for _, axis := range []int{
+		len(req.Experiments), len(req.TraceLengths), len(req.TraceStrides),
+		len(req.Populations), len(req.VariationSigmas), len(req.Years),
+	} {
+		if axis > maxSweepJobs {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("sweep axis has %d values, limit %d", axis, maxSweepJobs))
+			return
+		}
+		n *= axis
+	}
+	if n > maxSweepJobs {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep grid has %d points, limit %d", n, maxSweepJobs))
 		return
 	}
@@ -348,16 +401,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, exp := range req.Experiments {
 		for _, length := range req.TraceLengths {
 			for _, stride := range req.TraceStrides {
-				job, err := s.submit(exp, experiments.Options{TraceLength: length, TraceStride: stride})
-				if err == errQueueFull {
-					jobs = append(jobs, s.snapshot(job))
-					continue
+				for _, pop := range req.Populations {
+					for _, sigma := range req.VariationSigmas {
+						for _, yrs := range req.Years {
+							job, err := s.submit(exp, experiments.Options{
+								TraceLength: length, TraceStride: stride,
+								Population: pop, VariationSigma: sigma, Years: yrs,
+							})
+							if err == errQueueFull {
+								jobs = append(jobs, s.snapshot(job))
+								continue
+							}
+							if err != nil {
+								writeError(w, http.StatusBadRequest, err)
+								return
+							}
+							jobs = append(jobs, s.snapshot(job))
+						}
+					}
 				}
-				if err != nil {
-					writeError(w, http.StatusBadRequest, err)
-					return
-				}
-				jobs = append(jobs, s.snapshot(job))
 			}
 		}
 	}

@@ -469,3 +469,136 @@ func TestRenderedPayloadMatchesRun(t *testing.T) {
 		t.Errorf("service payload diverges from direct marshal:\n%s\nvs\n%s", got, want)
 	}
 }
+
+// TestExperimentsEndpoint checks GET /v1/experiments mirrors the
+// registry: every id in report order, with descriptions and the
+// options-free flag, so clients can discover experiments without
+// reading CLI help text.
+func TestExperimentsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	var resp struct {
+		Experiments []ExperimentInfo `json:"experiments"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/experiments", &resp); code != http.StatusOK {
+		t.Fatalf("GET /v1/experiments: status %d", code)
+	}
+	specs := experiments.Experiments()
+	if len(resp.Experiments) != len(specs) {
+		t.Fatalf("listed %d experiments, registry has %d", len(resp.Experiments), len(specs))
+	}
+	for i, spec := range specs {
+		got := resp.Experiments[i]
+		if got.ID != spec.ID || got.Description != spec.Description ||
+			got.OptionsFree != spec.OptionsFree || got.Fleet != spec.Fleet {
+			t.Errorf("entry %d = %+v, want registry spec %q", i, got, spec.ID)
+		}
+		if got.Description == "" {
+			t.Errorf("experiment %s listed without a description", got.ID)
+		}
+	}
+	// The new fleet experiments are discoverable.
+	fleet := map[string]bool{}
+	for _, e := range resp.Experiments {
+		fleet[e.ID] = e.Fleet
+	}
+	if !fleet["lifetime"] || !fleet["yield"] {
+		t.Errorf("fleet experiments missing or unflagged in listing: %v", fleet)
+	}
+	if fleet["fig6"] {
+		t.Error("fig6 flagged as a fleet experiment")
+	}
+}
+
+// TestSweepFleetAxes fans a sweep over the fleet axes (populations x
+// variation sigmas) and checks each grid point becomes a distinct
+// cache key while repeated points deduplicate, mirroring the trace-axis
+// sweep behaviour.
+func TestSweepFleetAxes(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 4,
+		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+			runs.Add(1)
+			return fakeResult{Name: experiment, N: o.Population}, nil
+		},
+	})
+
+	var resp struct {
+		Jobs []Job `json:"jobs"`
+	}
+	body := `{"experiments":["lifetime"],"populations":[1000,2000],"variation_sigmas":[0.05,0.1],"years":[3]}`
+	if code := postJSON(t, ts.URL+"/v1/sweeps", body, &resp); code != http.StatusAccepted {
+		t.Fatalf("sweep: status %d", code)
+	}
+	if len(resp.Jobs) != 4 {
+		t.Fatalf("sweep returned %d jobs, want one per fleet grid point (4)", len(resp.Jobs))
+	}
+	keys := map[string]bool{}
+	for _, j := range resp.Jobs {
+		if done := pollJob(t, ts.URL, j.ID); done.State != StateDone {
+			t.Fatalf("grid job failed: %+v", done)
+		}
+		keys[j.ResultKey] = true
+	}
+	if len(keys) != 4 {
+		t.Errorf("fleet sweep produced %d distinct result keys, want 4", len(keys))
+	}
+	if got := runs.Load(); got != 4 {
+		t.Errorf("%d simulations ran, want 4", got)
+	}
+
+	// Overlapping fleet sweeps are served from cache.
+	if code := postJSON(t, ts.URL+"/v1/sweeps", body, &resp); code != http.StatusAccepted {
+		t.Fatalf("overlapping sweep: status %d", code)
+	}
+	for _, j := range resp.Jobs {
+		if !j.CacheHit {
+			t.Errorf("overlapping fleet sweep job %s not served from cache", j.ID)
+		}
+	}
+	if got := runs.Load(); got != 4 {
+		t.Errorf("overlapping fleet sweep re-ran simulations (%d total)", got)
+	}
+}
+
+// TestFleetKnobsCanonicalizedForTraceExperiments checks a fleet-axis
+// sweep over a trace-only experiment collapses to one cache entry: the
+// fleet knobs are irrelevant to fig6, so varying them must not re-run
+// the identical simulation under fresh keys.
+func TestFleetKnobsCanonicalizedForTraceExperiments(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 2,
+		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+			runs.Add(1)
+			return fakeResult{Name: experiment}, nil
+		},
+	})
+
+	var first, second Job
+	if code := postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"fig6","options":{"population":1000}}`, &first); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollJob(t, ts.URL, first.ID)
+	if code := postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"fig6","options":{"population":2000}}`, &second); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if second.ResultKey != first.ResultKey {
+		t.Errorf("fleet knobs leaked into a trace-only key: %s vs %s", first.ResultKey, second.ResultKey)
+	}
+	if !second.CacheHit {
+		t.Error("second fig6 submission with different population missed the cache")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("%d simulations ran, want 1", got)
+	}
+	// A fleet experiment keeps the knobs: different populations are
+	// genuinely different simulations.
+	a := experiments.Options{Population: 1000}
+	b := experiments.Options{Population: 2000}
+	spec, _ := experiments.Lookup("lifetime")
+	if spec.CanonicalOptions(a).Key() == spec.CanonicalOptions(b).Key() {
+		t.Error("lifetime canonicalization dropped the population knob")
+	}
+}

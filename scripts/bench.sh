@@ -7,9 +7,11 @@
 # the loop, BenchmarkPipelineReplayThroughput over a packed recording,
 # BenchmarkRunBatch), the trace record/replay subsystem
 # (BenchmarkTraceRecord one-time synthesis+pack uops/s,
-# BenchmarkCursorReplay zero-alloc replay uops/s) and the bit-parallel
+# BenchmarkCursorReplay zero-alloc replay uops/s), the bit-parallel
 # circuit stack (BenchmarkAdderEvalBatch adds/s, BenchmarkStressApplyVec
-# lane-applies/s).
+# lane-applies/s) and the fleet lifetime engine (BenchmarkFleetEpoch
+# chip-epochs/s over a 100k-chip fleet, BenchmarkLifetimeTrajectory full
+# 7-year runs).
 #
 # Usage: scripts/bench.sh [extra go test args...]
 #   e.g. scripts/bench.sh -benchtime 2s -count 3
