@@ -10,16 +10,21 @@
 //	penelope run -experiment lifetime -population 100000 -years 7 -attack-years 1
 //	penelope run -experiment lifetime -checkpoint fleet.ckpt -workers 8
 //	penelope serve -addr :8080
+//	penelope serve -addr :8080 -data-dir /var/lib/penelope -rate 5 -burst 20
 //
 // The experiment list comes from the experiments registry (run
 // `penelope run -h`). Length is uops per trace; stride subsamples the
 // 531-trace workload (1 = full workload, as in the paper — slow). The
 // fleet flags parameterize the lifetime/yield experiments; -checkpoint
-// makes a long lifetime run resumable.
+// makes a long lifetime run resumable. With -data-dir the server
+// persists results to a content-addressed store and resumes
+// interrupted lifetime jobs after a restart; -rate/-burst enable
+// per-client rate limiting and -job-timeout bounds each attempt.
 // Invoking penelope with flags but no subcommand behaves like `run`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +34,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"penelope/internal/experiments"
 	"penelope/internal/service"
@@ -154,19 +160,29 @@ func runCmd(args []string) {
 }
 
 // serveCmd starts the experiment service: a worker pool over the
-// simulator with a content-addressed result cache, exposed as an HTTP
-// JSON API.
+// simulator with a content-addressed result cache (persisted to
+// -data-dir when set), exposed as an HTTP JSON API with per-client fair
+// scheduling and admission control.
 func serveCmd(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "simulation worker count (default: GOMAXPROCS)")
-		queue   = fs.Int("queue", 0, "job queue depth (default 256)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "simulation worker count (default: GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "job queue depth (default 256)")
+		dataDir    = fs.String("data-dir", "", "persist results and checkpoints under this directory; survives restarts")
+		rate       = fs.Float64("rate", 0, "per-client submissions/second (0 = unlimited; sweeps charge one per grid point)")
+		burst      = fs.Int("burst", 0, "per-client rate-limit burst (default ceil(rate))")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-job runner timeout (0 = unbounded)")
 	)
 	fs.Parse(args)
 
-	srv := service.New(service.Config{Workers: *workers, QueueDepth: *queue})
-	defer srv.Close()
+	srv, err := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue,
+		DataDir: *dataDir, Rate: *rate, Burst: *burst, JobTimeout: *jobTimeout,
+	})
+	if err != nil {
+		log.Fatalf("penelope serve: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -177,11 +193,22 @@ func serveCmd(args []string) {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("penelope serve: shutting down")
+		log.Printf("penelope serve: draining (in-flight lifetime jobs checkpoint before exit)")
+		// Stop accepting connections, then drain the pool: in-flight
+		// jobs see their context cancelled and checkpointed lifetime
+		// runs persist their state before the process exits.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		httpSrv.Shutdown(ctx)
+		cancel()
+		srv.Close()
 		httpSrv.Close()
 	}()
 	log.Printf("penelope serve: listening on %s (%d workers)", ln.Addr(), srv.Workers())
+	if *dataDir != "" {
+		log.Printf("penelope serve: persisting results under %s", *dataDir)
+	}
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("penelope serve: %v", err)
 	}
+	srv.Close()
 }

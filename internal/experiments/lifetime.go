@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -168,7 +169,7 @@ func (o Options) fleetConfig(duties []StructureDuty, penelope bool) lifetime.Con
 // FleetTrajectory is one fleet's full lifetime run: per-epoch
 // aggregates plus the headline numbers.
 type FleetTrajectory struct {
-	Fleet  string               `json:"fleet"`
+	Fleet  string                `json:"fleet"`
 	Epochs []lifetime.EpochStats `json:"epochs"`
 	// FirstViolationYears is the service time at which the first chip
 	// exceeded the guardband budget; -1 if the fleet never violated.
@@ -227,7 +228,7 @@ func Lifetime(o Options) LifetimeResult {
 
 // computeLifetime is the uncached driver body.
 func computeLifetime(o Options) LifetimeResult {
-	res, err := runLifetime(o, "", 0)
+	res, err := runLifetime(context.Background(), o, "", 0)
 	if err != nil {
 		// No checkpoint I/O is involved, so an error here is an
 		// internal invariant violation, like other driver panics.
@@ -242,18 +243,33 @@ func computeLifetime(o Options) LifetimeResult {
 // completed run with the same options — is resumed instead of starting
 // over. The result is byte-identical to an uninterrupted Lifetime run.
 func LifetimeCheckpointed(o Options, path string, every int) (LifetimeResult, error) {
+	return LifetimeCheckpointedCtx(context.Background(), o, path, every)
+}
+
+// ErrLifetimeInterrupted reports that a checkpointed lifetime run was
+// cancelled mid-flight; the checkpoint on disk holds the epoch it
+// reached, and rerunning with the same options resumes from it and
+// produces the same bytes an uninterrupted run would have.
+var ErrLifetimeInterrupted = fmt.Errorf("lifetime: run interrupted")
+
+// LifetimeCheckpointedCtx is LifetimeCheckpointed with cooperative
+// cancellation: the engine polls ctx once per epoch step, and on
+// cancellation writes a final checkpoint before returning
+// ErrLifetimeInterrupted — so a shutdown or timeout loses at most the
+// epoch in flight, never the run.
+func LifetimeCheckpointedCtx(ctx context.Context, o Options, path string, every int) (LifetimeResult, error) {
 	if path == "" {
 		return LifetimeResult{}, fmt.Errorf("lifetime: empty checkpoint path")
 	}
 	if every < 1 {
 		every = 16
 	}
-	return runLifetime(o.Normalized(), path, every)
+	return runLifetime(ctx, o.Normalized(), path, every)
 }
 
 // runLifetime advances the baseline and Penelope fleets in lockstep,
 // optionally checkpointing the pair.
-func runLifetime(o Options, ckpt string, every int) (LifetimeResult, error) {
+func runLifetime(ctx context.Context, o Options, ckpt string, every int) (LifetimeResult, error) {
 	duties := o.fleetDuties()
 	cfgB := o.fleetConfig(duties, false)
 	cfgP := o.fleetConfig(duties, true)
@@ -278,6 +294,16 @@ func runLifetime(o Options, ckpt string, every int) (LifetimeResult, error) {
 
 	steps := 0
 	for !engB.Done() || !engP.Done() {
+		if err := ctx.Err(); err != nil {
+			// Cancelled (shutdown or timeout): persist the epoch we
+			// reached so the next run continues instead of restarting.
+			if ckpt != "" {
+				if werr := writeFleetPair(ckpt, engB, engP); werr != nil {
+					return LifetimeResult{}, fmt.Errorf("%w; checkpoint write failed: %v", ErrLifetimeInterrupted, werr)
+				}
+			}
+			return LifetimeResult{}, fmt.Errorf("%w: %v", ErrLifetimeInterrupted, err)
+		}
 		if !engB.Done() {
 			engB.Step(o.Workers)
 		}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -159,6 +161,49 @@ func TestLifetimeCheckpointResume(t *testing.T) {
 		if got := marshalLifetime(t, res, o); !bytes.Equal(got, want) {
 			t.Fatal("re-run from completed checkpoint diverged")
 		}
+	}
+}
+
+// pollLimitCtx cancels after a fixed number of Err polls: runLifetime
+// polls once per epoch step, so the limit interrupts a run at an exact,
+// deterministic epoch — no timing races.
+type pollLimitCtx struct {
+	context.Context
+	polls, limit int
+}
+
+func (c *pollLimitCtx) Err() error {
+	c.polls++
+	if c.polls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestLifetimeCheckpointedCtxInterrupted cancels a checkpointed run
+// mid-flight and checks the cancellation path wrote a resumable
+// checkpoint: the resumed run's payload is byte-identical to an
+// uninterrupted one.
+func TestLifetimeCheckpointedCtxInterrupted(t *testing.T) {
+	o := fleetOptions()
+	want := marshalLifetime(t, Lifetime(o), o)
+
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	ctx := &pollLimitCtx{Context: context.Background(), limit: 5}
+	_, err := LifetimeCheckpointedCtx(ctx, o, path, 4)
+	if !errors.Is(err, ErrLifetimeInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrLifetimeInterrupted", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cancellation did not leave a checkpoint: %v", err)
+	}
+
+	res, err := LifetimeCheckpointedCtx(context.Background(), o, path, 4)
+	if err != nil {
+		t.Fatalf("resume after interruption: %v", err)
+	}
+	if got := marshalLifetime(t, res, o); !bytes.Equal(got, want) {
+		t.Fatal("resumed payload not byte-identical to uninterrupted run")
 	}
 }
 

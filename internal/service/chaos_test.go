@@ -1,0 +1,441 @@
+package service_test
+
+// The chaos suite runs the server against the fault-injection harness
+// and through simulated crash/restart cycles. It lives in an external
+// test package so it exercises only the exported surface — the same
+// contract cmd/penelope and real clients get — and it is written to be
+// deterministic: faults come from a seeded schedule, and interruptions
+// are driven by counted context polls, not wall-clock timing.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"penelope/internal/experiments"
+	"penelope/internal/service"
+	"penelope/internal/service/faultrunner"
+	"penelope/internal/store"
+)
+
+type chaosResult struct {
+	Name string
+	N    int
+}
+
+func (r chaosResult) ID() string { return r.Name }
+func (r chaosResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", r.Name, r.N)
+}
+
+func baseRunner(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
+	return chaosResult{Name: experiment, N: o.TraceLength}, nil
+}
+
+func pollTerminal(t *testing.T, base, id string) service.Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job service.Job
+		err = jsonDecode(resp, &job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == service.StateDone || job.State == service.StateFailed {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestChaosFaultStorm floods the server with jobs while the injector
+// fires transient errors and panics from a fixed seed, and requires
+// every job to reach a terminal state with the books balanced: the
+// server absorbs the storm instead of deadlocking, leaking jobs, or
+// crashing.
+func TestChaosFaultStorm(t *testing.T) {
+	inj := faultrunner.New(faultrunner.Config{
+		Seed:      42,
+		ErrorRate: 0.25,
+		PanicRate: 0.10,
+	}, baseRunner)
+	srv, err := service.New(service.Config{
+		Workers:      4,
+		QueueDepth:   128,
+		MaxRetries:   4,
+		RetryBackoff: time.Millisecond,
+		Runner:       inj.Runner(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	const n = 40
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"experiment":"fig6","client":"storm-%d","options":{"trace_length":%d}}`, i%3, 1000+i)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job service.Job
+		if err := jsonDecode(resp, &job); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids[i] = job.ID
+	}
+
+	done, failed := 0, 0
+	for _, id := range ids {
+		switch job := pollTerminal(t, ts.URL, id); job.State {
+		case service.StateDone:
+			done++
+		case service.StateFailed:
+			failed++
+			if job.Error == "" {
+				t.Errorf("failed job %s carries no error", id)
+			}
+		}
+	}
+	if done+failed != n {
+		t.Fatalf("%d done + %d failed != %d submitted", done, failed, n)
+	}
+	if done == 0 {
+		t.Error("no job survived the storm; retries should absorb most transient faults")
+	}
+
+	// The books balance: recovered panics equal injected panics, and the
+	// server is still healthy enough to run a clean job.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m service.Metrics
+	if err := jsonDecode(resp, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.PanicsRecovered != inj.Panics() {
+		t.Errorf("panics recovered %d != injected %d", m.Jobs.PanicsRecovered, inj.Panics())
+	}
+	if m.Jobs.Done != uint64(done) || m.Jobs.Failed != uint64(failed) {
+		t.Errorf("metrics %d/%d disagree with observed %d/%d", m.Jobs.Done, m.Jobs.Failed, done, failed)
+	}
+	if m.Jobs.Queued != 0 || m.Jobs.Running != 0 {
+		t.Errorf("leaked active jobs: %d queued, %d running after the storm", m.Jobs.Queued, m.Jobs.Running)
+	}
+}
+
+// TestChaosKillRestartServesFromDisk simulates kill -9 (the first
+// server is abandoned, never Closed) and requires the restarted server
+// to answer identical submissions byte-for-byte from the persistent
+// store, even while the injector keeps faulting around the live runs.
+func TestChaosKillRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultrunner.New(faultrunner.Config{Seed: 7, ErrorRate: 0.3}, baseRunner)
+	s1, err := service.New(service.Config{
+		Workers: 2, DataDir: dir,
+		MaxRetries: 6, RetryBackoff: time.Millisecond,
+		Runner: inj.Runner(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	const n = 8
+	payloads := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"experiment":"fig6","options":{"trace_length":%d}}`, 5000+i)
+		resp, err := http.Post(ts1.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job service.Job
+		if err := jsonDecode(resp, &job); err != nil {
+			t.Fatal(err)
+		}
+		if done := pollTerminal(t, ts1.URL, job.ID); done.State != service.StateDone {
+			t.Fatalf("job %d failed despite retries: %+v", i, done)
+		}
+		payloads[job.ResultKey] = fetch(t, ts1.URL+"/v1/results/"+job.ResultKey)
+	}
+	ts1.Close() // abandon s1 without Close: kill -9
+
+	s2, err := service.New(service.Config{
+		Workers: 2, DataDir: dir,
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
+			t.Errorf("restarted server re-simulated %s/%d", experiment, o.TraceLength)
+			return chaosResult{Name: experiment}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"experiment":"fig6","options":{"trace_length":%d}}`, 5000+i)
+		resp, err := http.Post(ts2.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job service.Job
+		if err := jsonDecode(resp, &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.State != service.StateDone || !job.CacheHit {
+			t.Fatalf("restart did not serve job %d from disk: %+v", i, job)
+		}
+		if got := fetch(t, ts2.URL+"/v1/results/"+job.ResultKey); !bytes.Equal(got, payloads[job.ResultKey]) {
+			t.Errorf("restart served different bytes for %s", job.ResultKey)
+		}
+	}
+}
+
+// pollCtx cancels after a fixed number of Err() polls — the
+// deterministic way to interrupt a checkpointing lifetime run at an
+// exact epoch.
+type pollCtx struct {
+	context.Context
+	polls, limit int
+}
+
+func (c *pollCtx) Err() error {
+	c.polls++
+	if c.polls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestChaosLifetimeResumeAcrossRestart is the end-to-end resume
+// guarantee: a lifetime job killed mid-run leaves a checkpoint and a
+// job record; the next boot resumes it automatically from the
+// checkpointed epoch; and the final payload is byte-identical to an
+// uninterrupted run.
+func TestChaosLifetimeResumeAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real fleet lifetime engine")
+	}
+	dir := t.TempDir()
+	o := experiments.Options{
+		TraceLength: 2000, TraceStride: 120,
+		Population: 900, Years: 3, EpochDays: 45,
+		VariationSigma: 0.1, FleetSeed: 5,
+	}
+	spec, _ := experiments.Lookup("lifetime")
+	canon := spec.CanonicalOptions(o)
+	key := service.ResultKey("lifetime", canon)
+
+	// Phase 1: the runner mimics a process dying mid-run — the
+	// checkpointed engine advances a handful of epochs under a counted
+	// context, persists its state, and the job fails as interrupted.
+	// Because it never completes, the resumable job record stays on
+	// disk, exactly as kill -9 would leave things.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := st.CheckpointPath(key)
+	s1, err := service.New(service.Config{
+		Workers: 1, DataDir: dir, MaxRetries: -1,
+		Runner: func(_ context.Context, experiment string, opts experiments.Options) (experiments.Result, error) {
+			limited := &pollCtx{Context: context.Background(), limit: 4}
+			return experiments.LifetimeCheckpointedCtx(limited, opts, ckpt, 1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	optJSON, _ := json.Marshal(canon)
+	resp, err := http.Post(ts1.URL+"/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"experiment":"lifetime","options":%s}`, optJSON)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job service.Job
+	if err := jsonDecode(resp, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ResultKey != key {
+		t.Fatalf("submitted key %s != computed %s", job.ResultKey, key)
+	}
+	if done := pollTerminal(t, ts1.URL, job.ID); done.State != service.StateFailed ||
+		!strings.Contains(done.Error, "interrupted") {
+		t.Fatalf("phase 1 job = %+v, want interrupted failure", done)
+	}
+	if len(st.JobRecords()) != 1 {
+		t.Fatal("no resumable job record left behind")
+	}
+	ts1.Close() // kill -9: no graceful Close
+
+	// Phase 2: a fresh boot over the same data dir resumes the job with
+	// the real registry runner (nil Runner) and completes it.
+	s2, err := service.New(service.Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+	deadline := time.Now().Add(120 * time.Second)
+	for !s2.Store().Has(key) {
+		if time.Now().After(deadline) {
+			t.Fatal("resumed lifetime job never completed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	got := fetch(t, ts2.URL+"/v1/results/"+key)
+
+	// Reference: an uninterrupted in-process run under the same
+	// canonical options.
+	res, err := experiments.Run("lifetime", canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.NewPayload(res, canon).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed lifetime payload not byte-identical to an uninterrupted run")
+	}
+
+	// The resume bookkeeping: counted, and the sidecar cleaned up.
+	resp, err = http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m service.Metrics
+	if err := jsonDecode(resp, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.Resumed != 1 {
+		t.Errorf("resumed = %d, want 1", m.Jobs.Resumed)
+	}
+	if recs := s2.Store().JobRecords(); len(recs) != 0 {
+		t.Errorf("job record survived completion: %+v", recs)
+	}
+}
+
+// TestChaosGracefulCloseCheckpoints drives the cooperative-shutdown
+// path: Close cancels an in-flight checkpointed lifetime run, which
+// persists its state within the drain grace instead of being lost.
+func TestChaosGracefulCloseCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real fleet lifetime engine")
+	}
+	dir := t.TempDir()
+	o := experiments.Options{
+		TraceLength: 2000, TraceStride: 120,
+		Population: 900, Years: 3, EpochDays: 45,
+		VariationSigma: 0.1, FleetSeed: 5,
+	}
+	s, err := service.New(service.Config{
+		Workers: 1, DataDir: dir, MaxRetries: -1, CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec, _ := experiments.Lookup("lifetime")
+	canon := spec.CanonicalOptions(o)
+	key := service.ResultKey("lifetime", canon)
+	optJSON, _ := json.Marshal(canon)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"experiment":"lifetime","options":%s}`, optJSON)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job service.Job
+	if err := jsonDecode(resp, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first checkpoint write — proof the engine is mid-run
+	// — then pull the plug gracefully.
+	ckpt := s.Store().CheckpointPath(key)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if s.Store().Has(key) {
+			t.Skip("run completed before the shutdown raced it; nothing to drain")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint ever written")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	start := time.Now()
+	s.Close()
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("graceful close took %v", took)
+	}
+	// Either the run finished during the drain (result stored) or it
+	// was interrupted with its state checkpointed for the next boot.
+	if !s.Store().Has(key) {
+		if _, err := os.Stat(ckpt); err != nil {
+			t.Fatalf("close lost the in-flight run: no result and no checkpoint (%v)", err)
+		}
+		if len(s.Store().JobRecords()) != 1 {
+			t.Error("interrupted run left no resumable job record")
+		}
+	}
+}
+
+// fetch GETs a URL and returns the body, failing on non-200.
+func fetch(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

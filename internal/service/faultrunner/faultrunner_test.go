@@ -1,0 +1,117 @@
+package faultrunner
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"penelope/internal/experiments"
+	"penelope/internal/service"
+)
+
+type okResult struct{}
+
+func (okResult) ID() string         { return "ok" }
+func (okResult) Render(w io.Writer) {}
+
+// okRunner never fails; the injector supplies all the trouble.
+func okRunner(ctx context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
+	return okResult{}, nil
+}
+
+// faultSchedule replays n invocations and records which ones faulted or
+// panicked.
+func faultSchedule(cfg Config, n int) []string {
+	inj := New(cfg, okRunner)
+	run := inj.Runner()
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					out[i] = "panic"
+				}
+			}()
+			_, err := run(context.Background(), "fig4", experiments.Options{})
+			switch {
+			case err == nil:
+				out[i] = "ok"
+			case errors.Is(err, service.ErrTransient):
+				out[i] = "transient"
+			default:
+				out[i] = "error"
+			}
+		}()
+	}
+	return out
+}
+
+// TestDeterministicSchedule requires the same seed to replay the exact
+// same fault sequence — the property the chaos suite's reproducibility
+// rests on — and different seeds to diverge.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, ErrorRate: 0.3, PanicRate: 0.2}
+	a := faultSchedule(cfg, 200)
+	b := faultSchedule(cfg, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d diverged across replays: %s vs %s", i, a[i], b[i])
+		}
+	}
+	saw := map[string]int{}
+	for _, s := range a {
+		saw[s]++
+	}
+	if saw["transient"] == 0 || saw["panic"] == 0 || saw["ok"] == 0 {
+		t.Errorf("schedule not mixed: %v", saw)
+	}
+
+	c := faultSchedule(Config{Seed: 8, ErrorRate: 0.3, PanicRate: 0.2}, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestFailFirst checks the scripted prefix: exactly the first N runs
+// fail, transiently, then the runner recovers.
+func TestFailFirst(t *testing.T) {
+	inj := New(Config{FailFirst: 2}, okRunner)
+	run := inj.Runner()
+	for i := 0; i < 2; i++ {
+		if _, err := run(context.Background(), "fig4", experiments.Options{}); !errors.Is(err, service.ErrTransient) {
+			t.Fatalf("run %d: err = %v, want transient", i, err)
+		}
+	}
+	if _, err := run(context.Background(), "fig4", experiments.Options{}); err != nil {
+		t.Fatalf("run after FailFirst prefix failed: %v", err)
+	}
+	if inj.Runs() != 3 || inj.Faults() != 2 || inj.Panics() != 0 {
+		t.Errorf("counters = %d runs / %d faults / %d panics, want 3/2/0",
+			inj.Runs(), inj.Faults(), inj.Panics())
+	}
+}
+
+// TestDelayHonoursContext checks an injected delay aborts promptly on
+// cancellation instead of sleeping through it — what makes the injector
+// usable for timeout testing.
+func TestDelayHonoursContext(t *testing.T) {
+	inj := New(Config{Delay: time.Minute}, okRunner)
+	run := inj.Runner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := run(ctx, "fig4", experiments.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled delay still blocked for %v", elapsed)
+	}
+}

@@ -1,8 +1,6 @@
 package service
 
 import (
-	"sync"
-
 	"penelope/internal/experiments"
 )
 
@@ -26,51 +24,20 @@ type Job struct {
 	ID         string              `json:"id"`
 	Experiment string              `json:"experiment"`
 	Options    experiments.Options `json:"options"`
+	// Client is the submitting client id (X-Client-Id header or the
+	// request's "client" field); fair scheduling and rate limiting key
+	// on it. Empty submissions share the "anonymous" client.
+	Client string `json:"client,omitempty"`
 	// ResultKey is the content address of the result; fetch it at
 	// /v1/results/{key} once the job is done.
 	ResultKey string   `json:"result_key"`
 	State     JobState `json:"state"`
 	// CacheHit reports that the job did not trigger its own simulation:
-	// the result was already cached or already being computed.
-	CacheHit bool   `json:"cache_hit"`
+	// the result was already cached (in memory or on disk) or already
+	// being computed.
+	CacheHit bool `json:"cache_hit"`
+	// Attempts counts runner invocations for leader jobs: 1 for a clean
+	// run, more when transient failures were retried.
+	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error,omitempty"`
-}
-
-// pool is the bounded worker pool that executes leader jobs. Submission
-// never blocks: a full queue is reported to the caller, which fails the
-// job instead of wedging the HTTP handler.
-type pool struct {
-	queue chan func()
-	wg    sync.WaitGroup
-}
-
-// newPool starts workers goroutines draining a queue of depth tasks.
-func newPool(workers, depth int) *pool {
-	p := &pool{queue: make(chan func(), depth)}
-	p.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer p.wg.Done()
-			for fn := range p.queue {
-				fn()
-			}
-		}()
-	}
-	return p
-}
-
-// submit enqueues fn, reporting false if the queue is full.
-func (p *pool) submit(fn func()) bool {
-	select {
-	case p.queue <- fn:
-		return true
-	default:
-		return false
-	}
-}
-
-// close stops the workers after the queued tasks drain.
-func (p *pool) close() {
-	close(p.queue)
-	p.wg.Wait()
 }

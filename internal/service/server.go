@@ -2,18 +2,38 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"penelope/internal/experiments"
+	"penelope/internal/store"
 )
 
-// Runner executes one experiment. The default runs the registry driver;
-// tests substitute instrumented runners to count and gate simulations.
-type Runner func(experiment string, o experiments.Options) (experiments.Result, error)
+// Runner executes one experiment. The default runs the registry driver
+// (routing lifetime jobs through the checkpointed, cancellable path
+// when persistence is on); tests substitute instrumented runners to
+// count, gate and fault-inject simulations. The context is cancelled on
+// job timeout and on server shutdown; cooperative runners should
+// persist what they can and return promptly.
+type Runner func(ctx context.Context, experiment string, o experiments.Options) (experiments.Result, error)
+
+// ErrTransient marks runner failures worth retrying: wrap it
+// (fmt.Errorf("...: %w", service.ErrTransient)) to tell the server a
+// failure was environmental rather than deterministic. Leader jobs
+// retry transient failures with exponential backoff and jitter up to
+// Config.MaxRetries; every other error fails the job on the first
+// attempt.
+var ErrTransient = errors.New("transient failure")
 
 // Config tunes a Server.
 type Config struct {
@@ -23,8 +43,9 @@ type Config struct {
 	// oversubscribing it.
 	Workers int
 	// QueueDepth bounds queued leader jobs (default 256). Submissions
-	// beyond it are rejected with 503 rather than buffered without
-	// bound.
+	// beyond it are rejected with 503 + Retry-After rather than
+	// buffered without bound, and progressive shedding starts at
+	// HighWater of the depth.
 	QueueDepth int
 	// RetainJobs bounds how many finished (done/failed) jobs stay
 	// pollable (default 4096). The oldest are evicted first; their
@@ -35,28 +56,93 @@ type Config struct {
 	// Runner overrides experiment execution (tests). Nil runs the
 	// registry.
 	Runner Runner
+
+	// DataDir enables persistence: completed result payloads are
+	// written through the in-memory cache to a content-addressed disk
+	// store under this directory, and served from it after a restart.
+	// Lifetime jobs checkpoint there and resume automatically at the
+	// next boot if interrupted. Empty keeps the server fully in-memory.
+	DataDir string
+	// Rate is the per-client admission budget in submissions/second
+	// (sweeps charge one token per grid point). 0 disables rate
+	// limiting. Clients over budget get 429 + Retry-After.
+	Rate float64
+	// Burst is the per-client token bucket size (default ceil(Rate)).
+	Burst int
+	// JobTimeout bounds one runner attempt; a job past it fails with a
+	// timeout error and its context is cancelled. 0 = unbounded.
+	JobTimeout time.Duration
+	// MaxRetries bounds retry attempts for transient leader failures
+	// (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base backoff between retries (default 100ms),
+	// doubled per attempt with jitter.
+	RetryBackoff time.Duration
+	// CheckpointEvery is the epoch interval between lifetime checkpoint
+	// writes when persistence is on (default 16).
+	CheckpointEvery int
+	// HighWater is the queue fraction where readiness degrades and
+	// progressive shedding starts (default 0.75).
+	HighWater float64
+	// DrainGrace bounds how long Close waits for a cancelled in-flight
+	// job to persist its state and return (default 5s).
+	DrainGrace time.Duration
 }
 
 // Server is the experiment service: it validates requests against the
 // experiments registry, deduplicates them through the content-addressed
-// cache, and executes cache leaders on the worker pool.
+// cache (backed by the disk store when DataDir is set), and executes
+// cache leaders on a per-client fair worker pool with admission
+// control, bounded retries and panic containment.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	pool  *pool
+	cfg     Config
+	cache   *Cache
+	pool    *fairPool
+	store   *store.Store
+	limiter *rateLimiter
+	backoff *backoffController
+
+	baseCtx   context.Context
+	cancelCtx context.CancelFunc
+	closeOnce sync.Once
+	closed    atomic.Bool
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	terminal []string // finished job ids, oldest first, for eviction
 	nextID   uint64
 
-	done     uint64 // jobs finished successfully (cumulative)
-	failed   uint64 // jobs finished with an error (cumulative)
-	rejected uint64 // submissions dropped because the queue was full
+	queued  int // jobs currently in StateQueued (O(1) metrics scan)
+	running int // jobs currently in StateRunning
+
+	done      uint64 // jobs finished successfully (cumulative)
+	failed    uint64 // jobs finished with an error (cumulative)
+	rejected  uint64 // submissions dropped because the queue was full
+	retries   uint64 // transient-failure retry attempts
+	panics    uint64 // driver panics recovered into failed jobs
+	timeouts  uint64 // jobs failed by the per-job timeout
+	resumed   uint64 // interrupted jobs resubmitted at boot
+	throttled uint64 // submissions rejected by per-client rate limiting
+
+	clients        map[string]*ClientCounters
+	clientOverflow ClientCounters // aggregate beyond the tracked bound
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// ClientCounters are the per-client admission counters in /metrics.
+type ClientCounters struct {
+	Admitted  uint64 `json:"admitted"`
+	Throttled uint64 `json:"throttled"`
+}
+
+// maxTrackedClients bounds the per-client metrics map; clients beyond
+// it aggregate under "~other" so a client-id flood cannot grow the map
+// without bound.
+const maxTrackedClients = 64
+
+// New builds a Server, starts its worker pool, and — when DataDir is
+// set — opens the disk store, serves every result already on disk, and
+// resubmits interrupted resumable jobs found there.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -66,29 +152,127 @@ func New(cfg Config) *Server {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 4096
 	}
-	if cfg.Runner == nil {
-		cfg.Runner = func(experiment string, o experiments.Options) (experiments.Result, error) {
-			return experiments.Run(experiment, o)
-		}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 2
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
 	}
-	return &Server{
-		cfg:   cfg,
-		cache: NewCache(),
-		pool:  newPool(cfg.Workers, cfg.QueueDepth),
-		jobs:  make(map[string]*Job),
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 16
+	}
+	if cfg.HighWater <= 0 || cfg.HighWater >= 1 {
+		cfg.HighWater = 0.75
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		cache:     NewCache(),
+		pool:      newFairPool(cfg.Workers, cfg.QueueDepth),
+		limiter:   newRateLimiter(cfg.Rate, cfg.Burst),
+		backoff:   newBackoffController(cfg.HighWater),
+		baseCtx:   ctx,
+		cancelCtx: cancel,
+		jobs:      make(map[string]*Job),
+		clients:   make(map[string]*ClientCounters),
+	}
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir)
+		if err != nil {
+			cancel()
+			s.pool.close()
+			return nil, err
+		}
+		s.store = st
+	}
+	if s.cfg.Runner == nil {
+		s.cfg.Runner = s.registryRunner
+	}
+	s.recoverInterrupted()
+	return s, nil
+}
+
+// registryRunner is the default Runner: the experiments registry, with
+// lifetime jobs routed through the checkpointed cancellable driver when
+// persistence is on, so a crash or shutdown mid-fleet resumes instead
+// of restarting.
+func (s *Server) registryRunner(ctx context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
+	if experiment == "lifetime" && s.store != nil {
+		key := ResultKey(experiment, o)
+		return experiments.LifetimeCheckpointedCtx(ctx, o, s.store.CheckpointPath(key), s.cfg.CheckpointEvery)
+	}
+	return experiments.Run(experiment, o)
+}
+
+// recoverInterrupted resubmits every resumable job record found on disk
+// whose result is not already stored: jobs that were queued or running
+// when the previous process died. Lifetime jobs resume from their
+// checkpoints inside the driver.
+func (s *Server) recoverInterrupted() {
+	if s.store == nil {
+		return
+	}
+	for _, rec := range s.store.JobRecords() {
+		if s.store.Has(rec.Key) {
+			s.store.RemoveJob(rec.Key)
+			continue
+		}
+		var o experiments.Options
+		if err := json.Unmarshal(rec.Options, &o); err != nil {
+			log.Printf("service: skipping job record %s with unreadable options: %v", rec.Key, err)
+			continue
+		}
+		client := rec.Client
+		if client == "" {
+			client = "recovery"
+		}
+		job, err := s.submit(client, rec.Experiment, o)
+		if err != nil {
+			log.Printf("service: resubmitting interrupted job %s: %v", rec.Key, err)
+			continue
+		}
+		if job.ResultKey != rec.Key {
+			// The key schema changed across versions; the stale sidecar
+			// would otherwise be resubmitted on every boot.
+			s.store.RemoveJob(rec.Key)
+		}
+		s.mu.Lock()
+		s.resumed++
+		s.mu.Unlock()
+		log.Printf("service: resumed interrupted %s job as %s (key %s)", rec.Experiment, job.ID, job.ResultKey)
 	}
 }
 
 // Workers returns the worker pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
 
-// Close drains the queue and stops the workers.
-func (s *Server) Close() { s.pool.close() }
+// Store returns the disk store, or nil when persistence is off.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Close shuts down gracefully: new submissions fail with a
+// shutting-down error, in-flight job contexts are cancelled (the
+// checkpointed lifetime driver persists its state before returning,
+// bounded by DrainGrace), and queued jobs drain as fast failures.
+// Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.cancelCtx()
+		s.pool.close()
+	})
+}
 
 // submit registers a job for (experiment, o) and routes it through the
-// cache: completed entries finish the job immediately, in-flight
-// entries attach a waiter, and new keys enqueue a leader on the pool.
-func (s *Server) submit(experiment string, o experiments.Options) (*Job, error) {
+// cache: completed entries (in memory or on disk) finish the job
+// immediately, in-flight entries attach a waiter, and new keys enqueue
+// a leader on the fair pool under the submitting client.
+func (s *Server) submit(client, experiment string, o experiments.Options) (*Job, error) {
 	spec, ok := experiments.Lookup(experiment)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (have %s)", experiment, experiments.IDList())
@@ -105,10 +289,12 @@ func (s *Server) submit(experiment string, o experiments.Options) (*Job, error) 
 		ID:         fmt.Sprintf("job-%d", s.nextID),
 		Experiment: experiment,
 		Options:    o,
+		Client:     client,
 		ResultKey:  key,
 		State:      StateQueued,
 	}
 	s.jobs[job.ID] = job
+	s.queued++
 	s.mu.Unlock()
 
 	entry, leader, ready := s.cache.Acquire(key)
@@ -126,34 +312,159 @@ func (s *Server) submit(experiment string, o experiments.Options) (*Job, error) 
 			s.finish(job, err, true)
 		}()
 	default:
-		if !s.pool.submit(func() { s.runJob(job, entry) }) {
-			s.cache.Abandon(entry, "job queue full")
+		if s.store != nil {
+			// Read-through: a result persisted by an earlier process
+			// completes the job without re-simulation.
+			if payload, ok := s.store.Get(key); ok {
+				s.cache.Complete(entry, payload, nil)
+				s.finish(job, nil, true)
+				return job, nil
+			}
+			if experiment == "lifetime" {
+				// Record the job before it runs so a crash mid-run (or
+				// while queued) leaves enough on disk to resume at boot.
+				optJSON, err := json.Marshal(o)
+				if err == nil {
+					err = s.store.PutJobRecord(store.JobRecord{
+						Key: key, Experiment: experiment, Options: optJSON, Client: client,
+					})
+				}
+				if err != nil {
+					log.Printf("service: recording resumable job %s: %v", key, err)
+				}
+			}
+		}
+		if err := s.pool.submit(client, func() { s.runJob(job, entry) }); err != nil {
+			s.cache.Abandon(entry, err.Error())
 			s.mu.Lock()
 			s.rejected++
 			s.mu.Unlock()
-			s.finish(job, errQueueFull, false)
-			return job, errQueueFull
+			s.finish(job, err, false)
+			return job, err
 		}
 	}
 	return job, nil
 }
 
-// errQueueFull distinguishes a saturated pool from a bad request.
-var errQueueFull = fmt.Errorf("service: job queue full")
+// errQueueFull and errShuttingDown distinguish a saturated or closing
+// server from a bad request; both map to 503 + Retry-After.
+var (
+	errQueueFull    = errors.New("service: job queue full")
+	errShuttingDown = errors.New("service: server shutting down")
+)
 
-// runJob executes a leader job and completes its cache entry.
+// runJob executes a leader job — with retries, timeout and panic
+// containment — persists a successful payload, and completes its cache
+// entry.
 func (s *Server) runJob(job *Job, entry *Entry) {
 	s.mu.Lock()
 	job.State = StateRunning
+	s.queued--
+	s.running++
 	s.mu.Unlock()
 
-	res, err := s.cfg.Runner(job.Experiment, job.Options)
-	var payload []byte
-	if err == nil {
-		payload, err = experiments.NewPayload(res, job.Options).Marshal()
+	start := time.Now()
+	payload, err := s.runWithRetry(job)
+	s.backoff.observe(time.Since(start))
+
+	if err == nil && s.store != nil {
+		if perr := s.store.Put(job.ResultKey, payload); perr != nil {
+			log.Printf("service: persisting result %s: %v", job.ResultKey, perr)
+		}
+		s.store.RemoveJob(job.ResultKey)
 	}
 	s.cache.Complete(entry, payload, err)
 	s.finish(job, err, false)
+}
+
+// runWithRetry runs the job, retrying transient failures with
+// exponential backoff and jitter up to MaxRetries.
+func (s *Server) runWithRetry(job *Job) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		job.Attempts = attempt + 1
+		s.mu.Unlock()
+		payload, err := s.runOnce(job)
+		if err == nil || !errors.Is(err, ErrTransient) || attempt >= s.cfg.MaxRetries || s.closed.Load() {
+			return payload, err
+		}
+		s.mu.Lock()
+		s.retries++
+		s.mu.Unlock()
+		backoff := s.cfg.RetryBackoff << attempt
+		if max := 30 * s.cfg.RetryBackoff; backoff > max {
+			backoff = max
+		}
+		// Half fixed, half jitter: retries from concurrent failures
+		// decorrelate instead of stampeding together.
+		delay := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		select {
+		case <-time.After(delay):
+		case <-s.baseCtx.Done():
+			return nil, errShuttingDown
+		}
+	}
+}
+
+// runOnce executes one runner attempt under the per-job timeout and the
+// server's lifetime context, recovering panics into errors so a
+// misbehaving driver can never take down the process.
+func (s *Server) runOnce(job *Job) ([]byte, error) {
+	ctx := s.baseCtx
+	cancel := func() {}
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	}
+	defer cancel()
+	if s.closed.Load() {
+		return nil, errShuttingDown
+	}
+	type outcome struct {
+		payload []byte
+		err     error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned attempt never wedges its goroutine
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				s.panics++
+				s.mu.Unlock()
+				ch <- outcome{nil, fmt.Errorf("experiment driver panicked: %v", r)}
+			}
+		}()
+		res, err := s.cfg.Runner(ctx, job.Experiment, job.Options)
+		var payload []byte
+		if err == nil {
+			payload, err = experiments.NewPayload(res, job.Options).Marshal()
+		}
+		ch <- outcome{payload, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.payload, out.err
+	case <-ctx.Done():
+		if s.closed.Load() {
+			// Graceful shutdown: give a cooperative runner (the
+			// checkpointed lifetime driver) a bounded grace period to
+			// persist its state and return.
+			select {
+			case out := <-ch:
+				if out.err == nil {
+					return out.payload, nil
+				}
+			case <-time.After(s.cfg.DrainGrace):
+			}
+			return nil, errShuttingDown
+		}
+		s.mu.Lock()
+		s.timeouts++
+		s.mu.Unlock()
+		// The runner goroutine may outlive the attempt (it is leaked
+		// until it returns); ctx cancellation asks cooperative drivers
+		// to stop early.
+		return nil, fmt.Errorf("service: job exceeded timeout %s", s.cfg.JobTimeout)
+	}
 }
 
 // finish moves a job to its terminal state and evicts the oldest
@@ -163,6 +474,12 @@ func (s *Server) runJob(job *Job, entry *Entry) {
 func (s *Server) finish(job *Job, err error, cacheHit bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	switch job.State {
+	case StateQueued:
+		s.queued--
+	case StateRunning:
+		s.running--
+	}
 	job.CacheHit = job.CacheHit || cacheHit
 	if err != nil {
 		job.State = StateFailed
@@ -193,38 +510,117 @@ func (s *Server) snapshot(job *Job) Job {
 	return *job
 }
 
+// clientCounters returns the (bounded) counter cell for a client.
+// Callers hold s.mu.
+func (s *Server) clientCounters(client string) *ClientCounters {
+	if c, ok := s.clients[client]; ok {
+		return c
+	}
+	if len(s.clients) >= maxTrackedClients {
+		return &s.clientOverflow
+	}
+	c := &ClientCounters{}
+	s.clients[client] = c
+	return c
+}
+
+// admitClient charges one rate-limit token per unit of work and counts
+// the outcome; on refusal it returns the wait until the client's bucket
+// refills.
+func (s *Server) admitClient(client string, units float64) (bool, time.Duration) {
+	ok := s.limiter.allow(client, units)
+	s.mu.Lock()
+	c := s.clientCounters(client)
+	if ok {
+		c.Admitted++
+	} else {
+		c.Throttled++
+		s.throttled++
+	}
+	s.mu.Unlock()
+	if ok {
+		return true, 0
+	}
+	return false, s.limiter.retryAfter(client, units)
+}
+
 // Metrics is the /metrics payload.
 type Metrics struct {
 	Jobs struct {
-		Submitted uint64 `json:"submitted"`
-		Queued    uint64 `json:"queued"`
-		Running   uint64 `json:"running"`
-		Done      uint64 `json:"done"`
-		Failed    uint64 `json:"failed"`
-		Rejected  uint64 `json:"rejected"`
+		Submitted       uint64 `json:"submitted"`
+		Queued          uint64 `json:"queued"`
+		Running         uint64 `json:"running"`
+		Done            uint64 `json:"done"`
+		Failed          uint64 `json:"failed"`
+		Rejected        uint64 `json:"rejected"`
+		Throttled       uint64 `json:"throttled"`
+		Shed            uint64 `json:"shed"`
+		Retries         uint64 `json:"retries"`
+		PanicsRecovered uint64 `json:"panics_recovered"`
+		Timeouts        uint64 `json:"timeouts"`
+		Resumed         uint64 `json:"resumed"`
 	} `json:"jobs"`
-	Cache   CacheStats `json:"cache"`
-	Workers int        `json:"workers"`
+	Clients map[string]ClientCounters `json:"clients,omitempty"`
+	Cache   CacheStats                `json:"cache"`
+	Store   *store.Stats              `json:"store,omitempty"`
+	Queue   QueueStatus               `json:"queue"`
+	Workers int                       `json:"workers"`
 }
 
-// metrics snapshots the job and cache counters.
+// QueueStatus describes queue pressure, shared by /metrics and /readyz.
+type QueueStatus struct {
+	Depth     int  `json:"depth"`
+	Capacity  int  `json:"capacity"`
+	HighWater int  `json:"high_water"`
+	Degraded  bool `json:"degraded"`
+}
+
+// queueStatus snapshots queue pressure. The depth is a counter read,
+// not a scan.
+func (s *Server) queueStatus() QueueStatus {
+	q := QueueStatus{
+		Depth:     s.pool.queueDepth(),
+		Capacity:  s.cfg.QueueDepth,
+		HighWater: int(s.cfg.HighWater * float64(s.cfg.QueueDepth)),
+	}
+	q.Degraded = q.HighWater > 0 && q.Depth >= q.HighWater
+	return q
+}
+
+// metrics snapshots the job, client, cache and store counters. Queued
+// and running are O(1) counter reads — the retained-job map is never
+// scanned.
 func (s *Server) metrics() Metrics {
 	var m Metrics
 	s.mu.Lock()
 	m.Jobs.Submitted = s.nextID
+	m.Jobs.Queued = uint64(s.queued)
+	m.Jobs.Running = uint64(s.running)
 	m.Jobs.Rejected = s.rejected
+	m.Jobs.Throttled = s.throttled
 	m.Jobs.Done = s.done
 	m.Jobs.Failed = s.failed
-	for _, j := range s.jobs {
-		switch j.State {
-		case StateQueued:
-			m.Jobs.Queued++
-		case StateRunning:
-			m.Jobs.Running++
+	m.Jobs.Retries = s.retries
+	m.Jobs.PanicsRecovered = s.panics
+	m.Jobs.Timeouts = s.timeouts
+	m.Jobs.Resumed = s.resumed
+	if len(s.clients) > 0 {
+		m.Clients = make(map[string]ClientCounters, len(s.clients)+1)
+		for name, c := range s.clients {
+			m.Clients[name] = *c
+		}
+		if s.clientOverflow != (ClientCounters{}) {
+			m.Clients["~other"] = s.clientOverflow
 		}
 	}
 	s.mu.Unlock()
+	m.Jobs.Shed = s.backoff.shedCount()
 	m.Cache = s.cache.Stats()
+	if s.store != nil {
+		st := s.store.Stats()
+		m.Store = &st
+	}
+	m.Queue = s.queueStatus()
 	m.Workers = s.cfg.Workers
 	return m
 }
@@ -232,12 +628,13 @@ func (s *Server) metrics() Metrics {
 // Handler returns the HTTP API:
 //
 //	GET  /v1/experiments   list the experiment registry
-//	POST /v1/jobs          submit {"experiment": id, "options": {...}}
+//	POST /v1/jobs          submit {"experiment": id, "options": {...}, "client": id}
 //	GET  /v1/jobs/{id}     poll a job
 //	GET  /v1/results/{key} fetch a completed result payload
 //	POST /v1/sweeps        fan a job out over an Options grid
 //	GET  /healthz          liveness
-//	GET  /metrics          job and cache counters
+//	GET  /readyz           readiness (degraded above the queue high-water mark)
+//	GET  /metrics          job, client, cache and store counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -248,10 +645,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.metrics())
 	})
 	return mux
+}
+
+// readiness is the /readyz payload: whether a load balancer should keep
+// routing to this instance, with the queue pressure behind the answer.
+type readiness struct {
+	Status        string      `json:"status"`
+	Queue         QueueStatus `json:"queue"`
+	RejectionRate float64     `json:"rejection_rate"`
+}
+
+// handleReady reports readiness: 200 "ready" normally, 503 "degraded"
+// once the queue crosses its high-water mark (liveness stays green —
+// the process is healthy, it just should not receive new load), and
+// 503 "draining" during shutdown.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	q := s.queueStatus()
+	s.mu.Lock()
+	accepted := s.nextID
+	refused := s.rejected + s.throttled
+	s.mu.Unlock()
+	refused += s.backoff.shedCount()
+	rate := 0.0
+	if total := accepted + refused; total > 0 {
+		rate = float64(refused) / float64(total)
+	}
+	body := readiness{Status: "ready", Queue: q, RejectionRate: rate}
+	code := http.StatusOK
+	switch {
+	case s.closed.Load():
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case q.Degraded:
+		body.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 // ExperimentInfo is one row of the GET /v1/experiments listing — the
@@ -277,10 +711,36 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]ExperimentInfo{"experiments": infos})
 }
 
-// jobRequest is the POST /v1/jobs body.
+// jobRequest is the POST /v1/jobs body. Client identifies the
+// submitter for fair scheduling and rate limiting; the X-Client-Id
+// header takes precedence.
 type jobRequest struct {
 	Experiment string              `json:"experiment"`
 	Options    experiments.Options `json:"options"`
+	Client     string              `json:"client"`
+}
+
+// clientID resolves the submitting client: header, then body field,
+// then "anonymous". Ids are capped so a hostile header cannot bloat
+// the queues and counters.
+func clientID(r *http.Request, field string) string {
+	c := r.Header.Get("X-Client-Id")
+	if c == "" {
+		c = field
+	}
+	if c == "" {
+		return "anonymous"
+	}
+	if len(c) > 64 {
+		c = c[:64]
+	}
+	return c
+}
+
+// setRetryAfter attaches the backpressure hint rejected submissions
+// retry against.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d)))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -289,9 +749,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.submit(req.Experiment, req.Options)
+	client := clientID(r, req.Client)
+	if ok, wait := s.admitClient(client, 1); !ok {
+		setRetryAfter(w, wait)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("client %q over rate limit (%.3g/s)", client, s.cfg.Rate))
+		return
+	}
+	if depth := s.pool.queueDepth(); !s.backoff.admit(depth, s.cfg.QueueDepth) {
+		setRetryAfter(w, s.backoff.retryAfter(depth, s.cfg.Workers))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("service overloaded (queue %d/%d); retry later", depth, s.cfg.QueueDepth))
+		return
+	}
+	job, err := s.submit(client, req.Experiment, req.Options)
 	switch {
-	case err == errQueueFull:
+	case errors.Is(err, errQueueFull) || errors.Is(err, errShuttingDown):
+		setRetryAfter(w, s.backoff.retryAfter(s.pool.queueDepth(), s.cfg.Workers))
 		writeJSON(w, http.StatusServiceUnavailable, s.snapshot(job))
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -312,14 +786,23 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.cache.Get(r.PathValue("key"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no completed result for key %q", r.PathValue("key")))
-		return
+	key := r.PathValue("key")
+	var payload []byte
+	if entry, ok := s.cache.Get(key); ok {
+		p, err := entry.Wait()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		payload = p
+	} else if s.store != nil {
+		// Results from previous processes outlive the in-memory cache.
+		if p, ok := s.store.Get(key); ok {
+			payload = p
+		}
 	}
-	payload, err := entry.Wait()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	if payload == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no completed result for key %q", key))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -341,6 +824,8 @@ type sweepRequest struct {
 	Populations     []int     `json:"populations"`
 	VariationSigmas []float64 `json:"variation_sigmas"`
 	Years           []float64 `json:"years"`
+
+	Client string `json:"client"`
 }
 
 // maxSweepJobs bounds one sweep request's fan-out.
@@ -397,6 +882,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Admission: a sweep charges one token per grid point, so sweep
+	// flooding and job flooding share one budget.
+	client := clientID(r, req.Client)
+	if ok, wait := s.admitClient(client, float64(n)); !ok {
+		setRetryAfter(w, wait)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("client %q over rate limit for a %d-point sweep", client, n))
+		return
+	}
+	if depth := s.pool.queueDepth(); !s.backoff.admit(depth, s.cfg.QueueDepth) {
+		setRetryAfter(w, s.backoff.retryAfter(depth, s.cfg.Workers))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("service overloaded (queue %d/%d); retry later", depth, s.cfg.QueueDepth))
+		return
+	}
 	var jobs []Job
 	for _, exp := range req.Experiments {
 		for _, length := range req.TraceLengths {
@@ -404,11 +904,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				for _, pop := range req.Populations {
 					for _, sigma := range req.VariationSigmas {
 						for _, yrs := range req.Years {
-							job, err := s.submit(exp, experiments.Options{
+							job, err := s.submit(client, exp, experiments.Options{
 								TraceLength: length, TraceStride: stride,
 								Population: pop, VariationSigma: sigma, Years: yrs,
 							})
-							if err == errQueueFull {
+							if errors.Is(err, errQueueFull) || errors.Is(err, errShuttingDown) {
+								// Report the failed point; the rest of
+								// the grid still enqueues.
 								jobs = append(jobs, s.snapshot(job))
 								continue
 							}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,7 +32,10 @@ func (r fakeResult) Render(w io.Writer) { fmt.Fprintf(w, "%s %d\n", r.Name, r.N)
 // given runner (nil = real registry runner).
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -148,7 +152,7 @@ func TestConcurrentDuplicatesRunOnce(t *testing.T) {
 	gate := make(chan struct{})
 	s, ts := newTestServer(t, Config{
 		Workers: 4,
-		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
 			runs.Add(1)
 			<-gate
 			return fakeResult{Name: experiment, N: 1}, nil
@@ -216,7 +220,7 @@ func TestSweepGrid(t *testing.T) {
 	var runs atomic.Int64
 	_, ts := newTestServer(t, Config{
 		Workers: 4,
-		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
 			runs.Add(1)
 			return fakeResult{Name: experiment, N: o.TraceLength}, nil
 		},
@@ -271,7 +275,7 @@ func TestOptionsFreeCanonicalized(t *testing.T) {
 	var runs atomic.Int64
 	_, ts := newTestServer(t, Config{
 		Workers: 2,
-		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
 			runs.Add(1)
 			return fakeResult{Name: experiment, N: 1}, nil
 		},
@@ -306,7 +310,7 @@ func TestTerminalJobEviction(t *testing.T) {
 	_, ts := newTestServer(t, Config{
 		Workers:    1,
 		RetainJobs: 2,
-		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
 			return fakeResult{Name: experiment, N: o.TraceLength}, nil
 		},
 	})
@@ -329,7 +333,7 @@ func TestTerminalJobEviction(t *testing.T) {
 
 // TestBadRequests exercises the 400/404 paths.
 func TestBadRequests(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(string, experiments.Options) (experiments.Result, error) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(context.Context, string, experiments.Options) (experiments.Result, error) {
 		return fakeResult{Name: "fig4"}, nil
 	}})
 
@@ -381,7 +385,7 @@ func TestFailedJobsRetry(t *testing.T) {
 	var calls atomic.Int64
 	_, ts := newTestServer(t, Config{
 		Workers: 1,
-		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
 			if calls.Add(1) == 1 {
 				return nil, fmt.Errorf("transient failure")
 			}
@@ -409,7 +413,7 @@ func TestFailedJobsRetry(t *testing.T) {
 
 // TestHealthzAndMetrics checks the operational endpoints.
 func TestHealthzAndMetrics(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(string, experiments.Options) (experiments.Result, error) {
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: func(context.Context, string, experiments.Options) (experiments.Result, error) {
 		return fakeResult{Name: "mru"}, nil
 	}})
 
@@ -518,7 +522,7 @@ func TestSweepFleetAxes(t *testing.T) {
 	var runs atomic.Int64
 	_, ts := newTestServer(t, Config{
 		Workers: 4,
-		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
 			runs.Add(1)
 			return fakeResult{Name: experiment, N: o.Population}, nil
 		},
@@ -570,7 +574,7 @@ func TestFleetKnobsCanonicalizedForTraceExperiments(t *testing.T) {
 	var runs atomic.Int64
 	_, ts := newTestServer(t, Config{
 		Workers: 2,
-		Runner: func(experiment string, o experiments.Options) (experiments.Result, error) {
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
 			runs.Add(1)
 			return fakeResult{Name: experiment}, nil
 		},

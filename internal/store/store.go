@@ -1,0 +1,403 @@
+// Package store is the crash-safe persistence layer under the
+// experiment service: a content-addressed blob store for completed
+// result payloads plus the sidecar files (fleet checkpoints, resumable
+// job records) that let `penelope serve` survive a hard kill. Every
+// write is atomic — temp file, fsync, rename — and every stored payload
+// is framed with a checksum, so a torn write from a crash is detected
+// on the next boot, quarantined, and re-simulated instead of served.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// resultMagic versions the on-disk result frame. Bump it whenever the
+// layout below changes shape.
+const resultMagic = "penelope-store-v1\n"
+
+// resultExt, jobExt and ckptExt are the file extensions of the three
+// artifact kinds the store manages.
+const (
+	resultExt = ".res"
+	jobExt    = ".job"
+	ckptExt   = ".ckpt"
+)
+
+// Stats are the store counters surfaced through /metrics.
+type Stats struct {
+	// Entries is the number of verified result payloads on disk.
+	Entries int `json:"entries"`
+	// Bytes is the total payload size held (frame overhead excluded).
+	Bytes int64 `json:"bytes"`
+	// Hits counts Get calls served from disk; Misses counts Get calls
+	// for keys the store does not hold.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Quarantined counts corrupt or truncated files set aside (renamed
+	// to *.quarantine) at boot or on read, instead of being served.
+	Quarantined int `json:"quarantined"`
+	// Checkpoints is the number of resumable job records on disk.
+	Checkpoints int `json:"checkpoints"`
+}
+
+// JobRecord is the sidecar written next to a resumable job's checkpoint
+// before the job starts running: enough to resubmit the job after a
+// crash. Options is the canonicalized options JSON.
+type JobRecord struct {
+	Key        string          `json:"key"`
+	Experiment string          `json:"experiment"`
+	Options    json.RawMessage `json:"options"`
+	Client     string          `json:"client,omitempty"`
+}
+
+// Store is a disk-backed content-addressed result store rooted at one
+// data directory:
+//
+//	<dir>/results/<key>.res      checksum-framed result payloads
+//	<dir>/checkpoints/<key>.ckpt fleet checkpoints of in-flight jobs
+//	<dir>/checkpoints/<key>.job  resumable job records
+//
+// The in-memory index is rebuilt by scanning (and verifying) the
+// results directory on Open, so the directory itself is the source of
+// truth and a crashed process loses nothing that finished a rename.
+type Store struct {
+	dir      string
+	results  string
+	ckpts    string
+	mu       sync.Mutex
+	sizes    map[string]int64
+	bytes    int64
+	hits     uint64
+	misses   uint64
+	quarant  int
+	jobFiles int
+}
+
+// Open creates the store layout under dir (making the directories if
+// needed) and rebuilds the index by scanning and verifying every result
+// file. Corrupt or truncated entries — a torn write from a crash, a
+// flipped bit — are renamed to *.quarantine and logged; boot continues
+// without them. Leftover temp files from interrupted writes are
+// removed.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		results: filepath.Join(dir, "results"),
+		ckpts:   filepath.Join(dir, "checkpoints"),
+		sizes:   make(map[string]int64),
+	}
+	for _, d := range []string{s.results, s.ckpts} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", d, err)
+		}
+	}
+	entries, err := os.ReadDir(s.results)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", s.results, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(s.results, name)
+		switch {
+		case strings.HasPrefix(name, ".tmp-"):
+			os.Remove(path) // interrupted write, never renamed in
+		case strings.HasSuffix(name, resultExt):
+			key := strings.TrimSuffix(name, resultExt)
+			payload, err := readResultFile(path)
+			if err != nil || !ValidKey(key) {
+				s.quarantineLocked(path, err)
+				continue
+			}
+			s.sizes[key] = int64(len(payload))
+			s.bytes += int64(len(payload))
+		}
+	}
+	jobs, err := os.ReadDir(s.ckpts)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", s.ckpts, err)
+	}
+	for _, e := range jobs {
+		if strings.HasSuffix(e.Name(), jobExt) {
+			s.jobFiles++
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ValidKey reports whether key is a plausible content address: short
+// lowercase hex, so a key can never traverse out of the store
+// directory or collide with the store's own temp/quarantine names.
+func ValidKey(key string) bool {
+	if len(key) < 8 || len(key) > 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put durably persists payload under key: checksum-framed temp file,
+// fsync, rename, directory fsync. After Put returns, a crash at any
+// point leaves either the previous state or the complete new entry —
+// never a half-written file under the final name.
+func (s *Store) Put(key string, payload []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid result key %q", key)
+	}
+	frame := frameResult(payload)
+	final := filepath.Join(s.results, key+resultExt)
+	if err := atomicWrite(final, frame); err != nil {
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	s.mu.Lock()
+	if old, ok := s.sizes[key]; ok {
+		s.bytes -= old
+	}
+	s.sizes[key] = int64(len(payload))
+	s.bytes += int64(len(payload))
+	s.mu.Unlock()
+	return nil
+}
+
+// Get reads and verifies the payload stored under key. A file that
+// fails verification is quarantined and reported as a miss, so a
+// corrupt entry is re-simulated rather than served.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	_, ok := s.sizes[key]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+	path := filepath.Join(s.results, key+resultExt)
+	payload, err := readResultFile(path)
+	if err != nil {
+		s.mu.Lock()
+		s.quarantineLocked(path, err)
+		if old, ok := s.sizes[key]; ok {
+			s.bytes -= old
+			delete(s.sizes, key)
+		}
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return payload, true
+}
+
+// Has reports whether key is indexed, without reading the payload.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sizes[key]
+	return ok
+}
+
+// Keys returns every indexed result key, in no particular order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.sizes))
+	for k := range s.sizes {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CheckpointPath returns the path a resumable job's checkpoint should
+// be written to. The store does not interpret the checkpoint's
+// contents; the lifetime engine owns that format (and its own atomic
+// rename discipline).
+func (s *Store) CheckpointPath(key string) string {
+	return filepath.Join(s.ckpts, key+ckptExt)
+}
+
+// PutJobRecord durably records a resumable job before it starts, so a
+// crash mid-run leaves enough on disk to resubmit it at the next boot.
+func (s *Store) PutJobRecord(rec JobRecord) error {
+	if !ValidKey(rec.Key) {
+		return fmt.Errorf("store: invalid job record key %q", rec.Key)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.ckpts, rec.Key+jobExt)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		s.jobFiles++
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return fmt.Errorf("store: writing job record %s: %w", rec.Key, err)
+	}
+	return nil
+}
+
+// JobRecords returns every resumable job record on disk. Unparsable
+// records are quarantined and skipped, so one corrupt sidecar never
+// blocks boot recovery of the others.
+func (s *Store) JobRecords() []JobRecord {
+	entries, err := os.ReadDir(s.ckpts)
+	if err != nil {
+		return nil
+	}
+	var recs []JobRecord
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), jobExt) {
+			continue
+		}
+		path := filepath.Join(s.ckpts, e.Name())
+		data, err := os.ReadFile(path)
+		var rec JobRecord
+		if err == nil {
+			err = json.Unmarshal(data, &rec)
+		}
+		if err == nil && rec.Key != strings.TrimSuffix(e.Name(), jobExt) {
+			err = fmt.Errorf("store: job record key %q does not match filename", rec.Key)
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.quarantineLocked(path, err)
+			s.jobFiles--
+			s.mu.Unlock()
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// RemoveJob deletes a finished job's checkpoint and record (and any
+// interrupted checkpoint temp file).
+func (s *Store) RemoveJob(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobPath := filepath.Join(s.ckpts, key+jobExt)
+	if _, err := os.Stat(jobPath); err == nil {
+		s.jobFiles--
+	}
+	os.Remove(jobPath)
+	os.Remove(filepath.Join(s.ckpts, key+ckptExt))
+	os.Remove(filepath.Join(s.ckpts, key+ckptExt+".tmp"))
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:     len(s.sizes),
+		Bytes:       s.bytes,
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Quarantined: s.quarant,
+		Checkpoints: s.jobFiles,
+	}
+}
+
+// quarantineLocked sets a bad file aside under a .quarantine suffix so
+// it stops being scanned but stays inspectable. Callers hold s.mu.
+func (s *Store) quarantineLocked(path string, cause error) {
+	s.quarant++
+	log.Printf("store: quarantining %s: %v", path, cause)
+	os.Rename(path, path+".quarantine")
+}
+
+// frameResult wraps a payload in the store's verification frame:
+// magic, length, payload, SHA-256 of the payload.
+func frameResult(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(resultMagic) + 8 + len(payload) + sha256.Size)
+	buf.WriteString(resultMagic)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(payload)))
+	buf.Write(n[:])
+	buf.Write(payload)
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// readResultFile reads and fully verifies one framed result file:
+// magic, exact length, checksum, no trailing bytes.
+func readResultFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(resultMagic)+8+sha256.Size {
+		return nil, fmt.Errorf("truncated result file (%d bytes)", len(data))
+	}
+	if string(data[:len(resultMagic)]) != resultMagic {
+		return nil, fmt.Errorf("bad magic %q", data[:len(resultMagic)])
+	}
+	rest := data[len(resultMagic):]
+	n := binary.LittleEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	if uint64(len(rest)) != n+sha256.Size {
+		return nil, fmt.Errorf("result frame claims %d payload bytes, file holds %d", n, len(rest)-sha256.Size)
+	}
+	payload := rest[:n]
+	want := rest[n:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// atomicWrite replaces path with data via temp file + fsync + rename,
+// then fsyncs the directory so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, ".tmp-"+filepath.Base(path))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort: not every filesystem supports dir fsync
+		d.Close()
+	}
+	return nil
+}
