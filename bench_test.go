@@ -1,7 +1,7 @@
 // Package penelope_test is the benchmark harness of the reproduction:
 // one benchmark per paper table/figure (regenerating its data and
 // reporting the headline quantity via ReportMetric) plus ablation
-// benchmarks for the design choices called out in DESIGN.md §7.
+// benchmarks for the design choices called out in DESIGN.md §9.
 //
 // Run with: go test -bench=. -benchmem
 package penelope_test
@@ -16,6 +16,7 @@ import (
 	"penelope/internal/cache"
 	"penelope/internal/circuit"
 	"penelope/internal/experiments"
+	"penelope/internal/fleetops"
 	"penelope/internal/lifetime"
 	"penelope/internal/metric"
 	"penelope/internal/nbti"
@@ -281,6 +282,28 @@ func BenchmarkLifetimeTrajectory(b *testing.B) {
 		final = stats[len(stats)-1].MeanGuardband
 	}
 	b.ReportMetric(final*100, "guardband%")
+}
+
+// BenchmarkBusPublish measures the continuous-operations event bus on
+// its hot path — one per-epoch aggregate published to a topic with four
+// live (and saturated) subscribers, the fan-out every scheduled fleet
+// pays per epoch. Delivery is non-blocking by design, so the cost is
+// one JSON marshal plus bounded channel sends.
+func BenchmarkBusPublish(b *testing.B) {
+	bus := fleetops.NewBus(0)
+	for i := 0; i < 4; i++ {
+		defer bus.Subscribe("fleet/bench", 0, 8).Close()
+	}
+	row := lifetime.EpochStats{Epoch: 1, Years: 0.1, Phase: "service", MeanVTHShift: []float64{0.01, 0.02}}
+	ev := fleetops.EpochEvent{Fleet: "bench", EpochStats: row}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bus.Publish("fleet/bench", "epoch", ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkAblationRINVPeriod sweeps the RINV refresh period (DESIGN.md

@@ -11,6 +11,7 @@
 //	penelope run -experiment lifetime -checkpoint fleet.ckpt -workers 8
 //	penelope serve -addr :8080
 //	penelope serve -addr :8080 -data-dir /var/lib/penelope -rate 5 -burst 20
+//	penelope serve -data-dir /var/lib/penelope -fleet-config fleets.json -alert-webhook http://ops/hook
 //
 // The experiment list comes from the experiments registry (run
 // `penelope run -h`). Length is uops per trace; stride subsamples the
@@ -20,11 +21,17 @@
 // persists results to a content-addressed store and resumes
 // interrupted lifetime jobs after a restart; -rate/-burst enable
 // per-client rate limiting and -job-timeout bounds each attempt.
-// Invoking penelope with flags but no subcommand behaves like `run`.
+// -fleet-config schedules continuously-aged populations at boot (they
+// also register over POST /v1/fleets and resume from -data-dir
+// sidecars); -fleet-tick paces their epochs and -alert-webhook receives
+// their threshold and wearout-attack alerts. Invoking penelope with
+// flags but no subcommand behaves like `run`.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"penelope/internal/experiments"
+	"penelope/internal/fleetops"
 	"penelope/internal/service"
 )
 
@@ -173,15 +181,27 @@ func serveCmd(args []string) {
 		rate       = fs.Float64("rate", 0, "per-client submissions/second (0 = unlimited; sweeps charge one per grid point)")
 		burst      = fs.Int("burst", 0, "per-client rate-limit burst (default ceil(rate))")
 		jobTimeout = fs.Duration("job-timeout", 0, "per-job runner timeout (0 = unbounded)")
+
+		fleetConfig  = fs.String("fleet-config", "", "JSON file of fleet registrations to schedule at boot ({\"fleets\": [...]} or a bare array)")
+		fleetTick    = fs.Duration("fleet-tick", 0, "default interval between fleet epoch ticks (default 30s)")
+		alertWebhook = fs.String("alert-webhook", "", "POST fired fleet alerts to this URL (retries, circuit breaker, dead-letter queue)")
 	)
 	fs.Parse(args)
 
 	srv, err := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		DataDir: *dataDir, Rate: *rate, Burst: *burst, JobTimeout: *jobTimeout,
+		FleetTick: *fleetTick, AlertWebhook: *alertWebhook,
 	})
 	if err != nil {
 		log.Fatalf("penelope serve: %v", err)
+	}
+	if *fleetConfig != "" {
+		n, err := registerFleetConfig(srv, *fleetConfig)
+		if err != nil {
+			log.Fatalf("penelope serve: -fleet-config: %v", err)
+		}
+		log.Printf("penelope serve: scheduled %d fleet registration(s) from %s", n, *fleetConfig)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -211,4 +231,37 @@ func serveCmd(args []string) {
 		log.Fatalf("penelope serve: %v", err)
 	}
 	srv.Close()
+}
+
+// registerFleetConfig schedules every registration in a -fleet-config
+// file. Registrations already resumed from data-dir sidecars are
+// skipped silently, so a fixed config file plus a persistent data dir
+// is idempotent across restarts.
+func registerFleetConfig(srv *service.Server, path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var regs []fleetops.Registration
+	var wrapped struct {
+		Fleets []fleetops.Registration `json:"fleets"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err == nil && wrapped.Fleets != nil {
+		regs = wrapped.Fleets
+	} else if err := json.Unmarshal(data, &regs); err != nil {
+		return 0, fmt.Errorf("want {\"fleets\": [...]} or a bare array: %w", err)
+	}
+	n := 0
+	for _, reg := range regs {
+		_, err := srv.RegisterFleet(reg)
+		switch {
+		case errors.Is(err, fleetops.ErrExists):
+			// Already resumed from its sidecar.
+			continue
+		case err != nil:
+			return n, fmt.Errorf("fleet %q: %w", reg.Name, err)
+		}
+		n++
+	}
+	return n, nil
 }

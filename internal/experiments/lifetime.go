@@ -166,6 +166,16 @@ func (o Options) fleetConfig(duties []StructureDuty, penelope bool) lifetime.Con
 	}
 }
 
+// FleetConfig is the exported form of fleetConfig for the fleetops
+// scheduler: the exact lifetime engine configuration the lifetime
+// experiment would run for these options — measured duty profiles
+// (memoized per trace workload), the compiled adder's delay model, and
+// the attack phases implied by AttackYears.
+func FleetConfig(o Options, penelope bool) lifetime.Config {
+	o = o.normalized()
+	return o.fleetConfig(o.fleetDuties(), penelope)
+}
+
 // FleetTrajectory is one fleet's full lifetime run: per-epoch
 // aggregates plus the headline numbers.
 type FleetTrajectory struct {

@@ -1,0 +1,597 @@
+package fleetops
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"penelope/internal/lifetime"
+)
+
+// Alert is one fired rule instance. The ID is deterministic —
+// fleet/rule/epoch(/structure) — so delivery behavior keyed on it (the
+// fault-injecting sink, jittered backoff) replays identically across
+// runs and worker counts.
+type Alert struct {
+	ID        string    `json:"id"`
+	Fleet     string    `json:"fleet"`
+	Rule      string    `json:"rule"`
+	Epoch     int       `json:"epoch"`
+	Structure string    `json:"structure,omitempty"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	Message   string    `json:"message"`
+	Time      time.Time `json:"time"`
+}
+
+// Rule names.
+const (
+	RuleP99Guardband     = "p99-guardband"
+	RuleViolatedFraction = "violated-fraction"
+	RuleDutyDeviation    = "duty-deviation"
+)
+
+// Sink delivers one alert attempt to its destination.
+type Sink interface {
+	Name() string
+	Deliver(ctx context.Context, a Alert) error
+}
+
+// WebhookSink POSTs alerts as JSON to a URL; any non-2xx status is a
+// delivery failure.
+type WebhookSink struct {
+	URL    string
+	Client *http.Client
+}
+
+// Name identifies the sink in metrics and dead letters.
+func (s *WebhookSink) Name() string { return "webhook:" + s.URL }
+
+// Deliver POSTs the alert.
+func (s *WebhookSink) Deliver(ctx context.Context, a Alert) error {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("fleetops: webhook returned %s", resp.Status)
+	}
+	return nil
+}
+
+// breaker is a circuit breaker over consecutive sink failures: closed →
+// open after Threshold consecutive failures; open fast-fails deliveries
+// until Cooldown passes; the first delivery after that is the half-open
+// probe — success closes the breaker, failure re-opens it.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	consecutive int
+	openUntil   time.Time
+	probing     bool
+	opens       uint64
+}
+
+type breakerVerdict int
+
+const (
+	breakerAllow breakerVerdict = iota
+	breakerReject
+)
+
+func (b *breaker) admit(now time.Time) breakerVerdict {
+	if b.threshold <= 0 {
+		return breakerAllow
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return breakerAllow
+	}
+	if now.Before(b.openUntil) {
+		return breakerReject
+	}
+	if b.probing {
+		// Another worker already holds the half-open probe slot.
+		return breakerReject
+	}
+	b.probing = true
+	return breakerAllow
+}
+
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}
+
+func (b *breaker) failure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		if b.openUntil.IsZero() || !now.Before(b.openUntil) {
+			b.opens++
+		}
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+func (b *breaker) state(now time.Time) string {
+	if b.threshold <= 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return "closed"
+	case now.Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// DeadLetter is an alert the pipeline gave up on, with the reason.
+type DeadLetter struct {
+	Alert  Alert  `json:"alert"`
+	Reason string `json:"reason"`
+}
+
+// DelivererConfig configures the hardened delivery pipeline.
+type DelivererConfig struct {
+	// Sink receives delivery attempts. Required.
+	Sink Sink
+	// Workers drain the queue concurrently (default 1).
+	Workers int
+	// QueueDepth bounds the intake queue; a full queue drops the alert
+	// and counts it (default 256).
+	QueueDepth int
+	// Timeout bounds each delivery attempt (default 5s).
+	Timeout time.Duration
+	// MaxRetries re-attempts a failed delivery (default 3, so up to 4
+	// attempts). Negative means no retries.
+	MaxRetries int
+	// Backoff is the base retry delay, doubled per attempt with
+	// deterministic jitter (default 250ms).
+	Backoff time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// failures; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown holds the circuit open before the half-open probe
+	// (default 30s).
+	BreakerCooldown time.Duration
+	// Seed drives the jitter; fixed seed + deterministic alert IDs give
+	// a reproducible retry schedule.
+	Seed uint64
+	// DeadLetterLimit bounds the retained dead letters (default 128).
+	DeadLetterLimit int
+}
+
+// Deliverer pushes alerts through the sink with per-attempt timeout,
+// retry with backoff and jitter, a circuit breaker, and a bounded
+// dead-letter queue. Enqueue never blocks.
+type Deliverer struct {
+	cfg   DelivererConfig
+	queue chan Alert
+	wg    sync.WaitGroup
+	brk   breaker
+
+	mu          sync.Mutex
+	closed      bool
+	enqueued    uint64
+	delivered   uint64
+	retries     uint64
+	deadTotal   uint64
+	dropped     uint64
+	breakerFast uint64
+	deadLetters []DeadLetter
+}
+
+// NewDeliverer starts the pipeline's workers.
+func NewDeliverer(cfg DelivererConfig) *Deliverer {
+	if cfg.Sink == nil {
+		panic("fleetops: NewDeliverer requires a sink")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	if cfg.DeadLetterLimit <= 0 {
+		cfg.DeadLetterLimit = 128
+	}
+	d := &Deliverer{
+		cfg:   cfg,
+		queue: make(chan Alert, cfg.QueueDepth),
+		brk:   breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
+	}
+	d.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Enqueue hands an alert to the pipeline without blocking: a full queue
+// or closed deliverer drops it (counted).
+func (d *Deliverer) Enqueue(a Alert) bool {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false
+	}
+	d.enqueued++
+	d.mu.Unlock()
+	select {
+	case d.queue <- a:
+		return true
+	default:
+		d.mu.Lock()
+		d.dropped++
+		d.mu.Unlock()
+		return false
+	}
+}
+
+// Close stops intake and drains the queue — every enqueued alert is
+// delivered or dead-lettered before Close returns, so counters are
+// stable afterwards.
+func (d *Deliverer) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.queue)
+	d.wg.Wait()
+}
+
+func (d *Deliverer) worker() {
+	defer d.wg.Done()
+	for a := range d.queue {
+		d.deliver(a)
+	}
+}
+
+func (d *Deliverer) deliver(a Alert) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if d.brk.admit(time.Now()) == breakerReject {
+			d.mu.Lock()
+			d.breakerFast++
+			d.mu.Unlock()
+			reason := "circuit breaker open"
+			if lastErr != nil {
+				reason = fmt.Sprintf("circuit breaker open after: %v", lastErr)
+			}
+			d.deadLetter(a, reason)
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), d.cfg.Timeout)
+		err := d.cfg.Sink.Deliver(ctx, a)
+		cancel()
+		if err == nil {
+			d.brk.success()
+			d.mu.Lock()
+			d.delivered++
+			d.mu.Unlock()
+			return
+		}
+		lastErr = err
+		d.brk.failure(time.Now())
+		if attempt >= d.cfg.MaxRetries {
+			d.deadLetter(a, fmt.Sprintf("retries exhausted: %v", err))
+			return
+		}
+		d.mu.Lock()
+		d.retries++
+		d.mu.Unlock()
+		time.Sleep(d.backoff(a.ID, attempt))
+	}
+}
+
+// backoff doubles the base delay per attempt and adds up to 50%
+// deterministic jitter keyed on (seed, alert ID, attempt) — the same
+// alert retries on the same schedule in every run, regardless of which
+// worker carries it.
+func (d *Deliverer) backoff(id string, attempt int) time.Duration {
+	base := float64(d.cfg.Backoff) * math.Pow(2, float64(attempt))
+	if max := float64(30 * time.Second); base > max {
+		base = max
+	}
+	jitter := unitHash(d.cfg.Seed, id, uint64(attempt)) * 0.5 * base
+	return time.Duration(base + jitter)
+}
+
+func (d *Deliverer) deadLetter(a Alert, reason string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.deadTotal++
+	d.deadLetters = append(d.deadLetters, DeadLetter{Alert: a, Reason: reason})
+	if len(d.deadLetters) > d.cfg.DeadLetterLimit {
+		d.deadLetters = d.deadLetters[len(d.deadLetters)-d.cfg.DeadLetterLimit:]
+	}
+}
+
+// DeliveryStats is the alert-pipeline section of /metrics.
+type DeliveryStats struct {
+	Sink             string       `json:"sink"`
+	QueueDepth       int          `json:"queue_depth"`
+	Enqueued         uint64       `json:"enqueued"`
+	Delivered        uint64       `json:"delivered"`
+	Retries          uint64       `json:"retries"`
+	DeadLettered     uint64       `json:"dead_lettered"`
+	DroppedQueueFull uint64       `json:"dropped_queue_full"`
+	BreakerState     string       `json:"breaker_state"`
+	BreakerOpens     uint64       `json:"breaker_opens"`
+	BreakerFastFails uint64       `json:"breaker_fast_fails"`
+	DeadLetters      []DeadLetter `json:"dead_letters,omitempty"`
+}
+
+// Stats returns a point-in-time snapshot, including the retained dead
+// letters.
+func (d *Deliverer) Stats() DeliveryStats {
+	now := time.Now()
+	d.brk.mu.Lock()
+	opens := d.brk.opens
+	d.brk.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DeliveryStats{
+		Sink:             d.cfg.Sink.Name(),
+		QueueDepth:       len(d.queue),
+		Enqueued:         d.enqueued,
+		Delivered:        d.delivered,
+		Retries:          d.retries,
+		DeadLettered:     d.deadTotal,
+		DroppedQueueFull: d.dropped,
+		BreakerState:     d.brk.state(now),
+		BreakerOpens:     opens,
+		BreakerFastFails: d.breakerFast,
+		DeadLetters:      append([]DeadLetter(nil), d.deadLetters...),
+	}
+}
+
+// FaultSink is a deterministic fault-injecting Sink for tests and chaos
+// drills, in the spirit of service/faultrunner: failure decisions key
+// on (seed, alert ID, per-alert attempt index), never on global order,
+// so the same seed and fault schedule reproduce the exact same
+// delivery/retry/dead-letter counts at any worker count.
+type FaultSink struct {
+	// Seed drives the per-attempt failure draw.
+	Seed uint64
+	// FailFirst fails the first N attempts of every alert outright.
+	FailFirst int
+	// FailRate is the probability any later attempt fails.
+	FailRate float64
+	// Latency delays every attempt (simulates a slow sink).
+	Latency time.Duration
+
+	mu        sync.Mutex
+	attempts  map[string]int
+	delivered []Alert
+}
+
+// Name identifies the sink.
+func (f *FaultSink) Name() string { return "fault-sink" }
+
+// Deliver fails or succeeds per the seeded schedule.
+func (f *FaultSink) Deliver(ctx context.Context, a Alert) error {
+	if f.Latency > 0 {
+		select {
+		case <-time.After(f.Latency):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	f.mu.Lock()
+	if f.attempts == nil {
+		f.attempts = make(map[string]int)
+	}
+	attempt := f.attempts[a.ID]
+	f.attempts[a.ID] = attempt + 1
+	f.mu.Unlock()
+	if attempt < f.FailFirst {
+		return fmt.Errorf("fault-sink: injected failure (attempt %d of first %d)", attempt, f.FailFirst)
+	}
+	if f.FailRate > 0 && unitHash(f.Seed, a.ID, uint64(attempt)) < f.FailRate {
+		return fmt.Errorf("fault-sink: injected failure (attempt %d)", attempt)
+	}
+	f.mu.Lock()
+	f.delivered = append(f.delivered, a)
+	f.mu.Unlock()
+	return nil
+}
+
+// Delivered returns the successfully delivered alerts so far.
+func (f *FaultSink) Delivered() []Alert {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Alert(nil), f.delivered...)
+}
+
+// unitHash maps (seed, id, n) to a uniform [0,1) draw via splitmix64
+// over an FNV-1a digest of the id.
+func unitHash(seed uint64, id string, n uint64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	x := seed ^ h.Sum64() ^ (n * 0x9e3779b97f4a7c15)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// Alerter evaluates a registration's rules against each new epoch row
+// and fans fired alerts out: onto the bus (as "alert" events on the
+// fleet's topic) and into the delivery pipeline. Rules latch — a rule
+// instance fires when its condition first becomes true and re-arms when
+// the condition clears — so a sustained threshold crossing produces one
+// alert, not one per epoch.
+type Alerter struct {
+	bus       *Bus
+	deliverer *Deliverer
+
+	mu        sync.Mutex
+	latched   map[string]bool
+	evaluated uint64
+	fired     uint64
+}
+
+// NewAlerter wires the evaluator to an optional bus and optional
+// delivery pipeline.
+func NewAlerter(bus *Bus, deliverer *Deliverer) *Alerter {
+	return &Alerter{bus: bus, deliverer: deliverer, latched: make(map[string]bool)}
+}
+
+// Observe evaluates one fleet epoch row. prev is the previous row's
+// MeanVTHShift (nil for the first epoch); det may be nil when the
+// detector is disarmed. It returns the alerts fired for this row.
+func (al *Alerter) Observe(fleet string, rules AlertRules, det *DeviationDetector,
+	prevVTH []float64, cur lifetime.EpochStats) []Alert {
+	if al == nil {
+		return nil
+	}
+	type candidate struct {
+		rule      string
+		latchKey  string
+		active    bool
+		structure string
+		value     float64
+		threshold float64
+		message   string
+	}
+	var cands []candidate
+	if rules.P99Guardband > 0 {
+		cands = append(cands, candidate{
+			rule:      RuleP99Guardband,
+			latchKey:  fleet + "/" + RuleP99Guardband,
+			active:    cur.P99Guardband >= rules.P99Guardband,
+			value:     cur.P99Guardband,
+			threshold: rules.P99Guardband,
+			message: fmt.Sprintf("P99 guardband %.4f crossed %.4f at epoch %d (%.2f years)",
+				cur.P99Guardband, rules.P99Guardband, cur.Epoch, cur.Years),
+		})
+	}
+	if rules.ViolatedFraction > 0 {
+		cands = append(cands, candidate{
+			rule:      RuleViolatedFraction,
+			latchKey:  fleet + "/" + RuleViolatedFraction,
+			active:    cur.ViolatedFraction >= rules.ViolatedFraction,
+			value:     cur.ViolatedFraction,
+			threshold: rules.ViolatedFraction,
+			message: fmt.Sprintf("violated fraction %.4f crossed %.4f at epoch %d (%.2f years)",
+				cur.ViolatedFraction, rules.ViolatedFraction, cur.Epoch, cur.Years),
+		})
+	}
+	if rules.DutyTolerance > 0 && det != nil {
+		dev, deviant := det.Check(prevVTH, cur.MeanVTHShift)
+		cands = append(cands, candidate{
+			rule:      RuleDutyDeviation,
+			latchKey:  fleet + "/" + RuleDutyDeviation + "/" + dev.Structure,
+			active:    deviant,
+			structure: dev.Structure,
+			value:     dev.Implied,
+			threshold: det.Tolerance(),
+			message: fmt.Sprintf("wearout-attack suspect: %s implied duty %.3f vs declared %.3f (|Δ|=%.3f > %.3f) at epoch %d",
+				dev.Structure, dev.Implied, dev.Declared, dev.Delta, det.Tolerance(), cur.Epoch),
+		})
+	}
+	var fired []Alert
+	al.mu.Lock()
+	for _, c := range cands {
+		al.evaluated++
+		was := al.latched[c.latchKey]
+		al.latched[c.latchKey] = c.active
+		if !c.active || was {
+			continue
+		}
+		al.fired++
+		a := Alert{
+			Fleet:     fleet,
+			Rule:      c.rule,
+			Epoch:     cur.Epoch,
+			Structure: c.structure,
+			Value:     c.value,
+			Threshold: c.threshold,
+			Message:   c.message,
+			Time:      time.Now().UTC(),
+		}
+		a.ID = fmt.Sprintf("%s/%s/%d", a.Fleet, a.Rule, a.Epoch)
+		if a.Structure != "" {
+			a.ID += "/" + a.Structure
+		}
+		fired = append(fired, a)
+	}
+	al.mu.Unlock()
+	for _, a := range fired {
+		if al.bus != nil {
+			al.bus.Publish(fleetTopic(fleet), "alert", a)
+		}
+		if al.deliverer != nil {
+			al.deliverer.Enqueue(a)
+		}
+	}
+	return fired
+}
+
+// AlertStats is the rule-evaluation section of /metrics.
+type AlertStats struct {
+	Evaluated uint64 `json:"evaluated"`
+	Fired     uint64 `json:"fired"`
+}
+
+// Stats returns evaluation counters.
+func (al *Alerter) Stats() AlertStats {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	return AlertStats{Evaluated: al.evaluated, Fired: al.fired}
+}

@@ -1,0 +1,149 @@
+package fleetops
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestBusPublishSubscribeOrder(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe("t", 0, 16)
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := b.Publish("t", "n", map[string]int{"i": i}); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		ev := <-sub.C()
+		if ev.Seq != uint64(i+1) || ev.Topic != "t" || ev.Type != "n" {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		var d struct{ I int }
+		if err := json.Unmarshal(ev.Data, &d); err != nil || d.I != i {
+			t.Fatalf("payload %d = %s (%v)", i, ev.Data, err)
+		}
+	}
+	if st := b.Stats(); st.Published != 5 || st.Dropped != 0 || st.Topics != 1 || st.Subscribers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBusResume replays the history ring past a Last-Event-ID sequence
+// number with no gap into live delivery.
+func TestBusResume(t *testing.T) {
+	b := NewBus(8)
+	for i := 0; i < 6; i++ {
+		b.Publish("t", "n", i)
+	}
+	sub := b.Subscribe("t", 4, 16) // saw events 1..4 already
+	defer sub.Close()
+	b.Publish("t", "n", 6) // live event while resumed
+
+	want := []uint64{5, 6, 7}
+	for _, seq := range want {
+		ev := <-sub.C()
+		if ev.Seq != seq {
+			t.Fatalf("resume got seq %d, want %d", ev.Seq, seq)
+		}
+	}
+}
+
+// TestBusHistoryEviction: the ring keeps only the newest `history`
+// events, so a subscriber resuming from 0 sees just the tail.
+func TestBusHistoryEviction(t *testing.T) {
+	b := NewBus(4)
+	for i := 0; i < 10; i++ {
+		b.Publish("t", "n", i)
+	}
+	sub := b.Subscribe("t", 0, 16)
+	defer sub.Close()
+	for _, seq := range []uint64{7, 8, 9, 10} {
+		ev := <-sub.C()
+		if ev.Seq != seq {
+			t.Fatalf("got seq %d, want %d", ev.Seq, seq)
+		}
+	}
+	select {
+	case ev := <-sub.C():
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+}
+
+// TestBusSlowSubscriberDrops: a full subscriber buffer drops events and
+// counts them instead of blocking the publisher.
+func TestBusSlowSubscriberDrops(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe("t", 0, 4)
+	defer sub.Close()
+	for i := 0; i < 20; i++ {
+		b.Publish("t", "n", i) // never blocks
+	}
+	if got := sub.Dropped(); got != 16 {
+		t.Fatalf("Dropped() = %d, want 16", got)
+	}
+	if st := b.Stats(); st.Dropped != 16 || st.Published != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The first 4 made it through in order.
+	for i := 0; i < 4; i++ {
+		ev := <-sub.C()
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("got seq %d, want %d", ev.Seq, i+1)
+		}
+	}
+}
+
+func TestBusDropClosesSubscribers(t *testing.T) {
+	b := NewBus(0)
+	b.Touch("t")
+	if !b.HasTopic("t") {
+		t.Fatal("Touch did not create the topic")
+	}
+	sub := b.Subscribe("t", 0, 4)
+	b.Drop("t")
+	if b.HasTopic("t") {
+		t.Fatal("dropped topic still exists")
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("subscription channel still open after Drop")
+	}
+	sub.Close() // double close after Drop must not panic
+	b.Drop("t") // dropping a missing topic is a no-op
+}
+
+func TestBusPerTopicSequences(t *testing.T) {
+	b := NewBus(0)
+	b.Publish("a", "n", 1)
+	b.Publish("a", "n", 2)
+	ev, _ := b.Publish("b", "n", 1)
+	if ev.Seq != 1 {
+		t.Fatalf("topic b first seq = %d, want 1 (sequences are per topic)", ev.Seq)
+	}
+}
+
+func TestBusPublishUnmarshalable(t *testing.T) {
+	b := NewBus(0)
+	if _, err := b.Publish("t", "n", func() {}); err == nil {
+		t.Fatal("publishing an unmarshalable payload succeeded")
+	}
+}
+
+// BenchmarkBusPublishFanout measures publish cost with a handful of
+// (deliberately saturated) subscribers — the hot path of the epoch
+// loop's event fan-out.
+func BenchmarkBusPublishFanout(b *testing.B) {
+	bus := NewBus(DefaultHistory)
+	for i := 0; i < 4; i++ {
+		defer bus.Subscribe("t", 0, 8).Close()
+	}
+	payload := EpochEvent{Fleet: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bus.Publish("t", "epoch", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

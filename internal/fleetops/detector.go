@@ -1,0 +1,146 @@
+package fleetops
+
+import (
+	"math"
+
+	"penelope/internal/lifetime"
+)
+
+// DeviationDetector is the wearout-attack monitor. Each epoch the
+// engine publishes the fleet-mean relative VTH shift per structure;
+// under the duty-averaged reaction-diffusion model one epoch advances
+// the normalized trap density n = shift/(MaxVTHShift/N0) by the affine
+// step
+//
+//	n' = m·n + Neq·(1-m),  λ = d·Ks + (1-d)·Kr,  m = exp(-λ·dt)
+//
+// which is strictly monotonic in the stress duty d for n below DC
+// equilibrium. The detector inverts that step with the nominal
+// parameters — bisecting d over [0,1] to match the observed (n, n')
+// pair — and compares the implied duty against the duty the
+// registration's declared workload would hold per structure. A
+// population aged under a substituted workload (a wearout attack pins
+// duty at 1.0 on the victim structure) shows an implied duty far above
+// its declaration within one epoch of the substitution, long before
+// the guardband itself is in trouble. Process variation perturbs the
+// per-chip rate constants, so the fleet-mean inversion carries an
+// O(σ²) bias; DefaultDutyTolerance comfortably covers it at the
+// σ ≈ 0.08–0.1 used throughout.
+type DeviationDetector struct {
+	declared []float64 // per-structure declared duty
+	names    []string
+	tol      float64
+
+	ks, kr, n0, dt, scale float64
+}
+
+// NewDeviationDetector builds the monitor for an engine config. The
+// declared workload is the config's first non-attack phase (the
+// steady-state service phase a registration promises to run); nil is
+// returned when the schedule has no such phase. tol <= 0 uses
+// DefaultDutyTolerance.
+func NewDeviationDetector(cfg lifetime.Config, tol float64) *DeviationDetector {
+	if tol <= 0 {
+		tol = DefaultDutyTolerance
+	}
+	var declared []float64
+	for _, ph := range cfg.Phases {
+		if ph.Name == "attack" {
+			continue
+		}
+		declared = append([]float64(nil), ph.Duty...)
+		break
+	}
+	if declared == nil {
+		return nil
+	}
+	p := cfg.Params
+	return &DeviationDetector{
+		declared: declared,
+		names:    append([]string(nil), cfg.Structures...),
+		tol:      tol,
+		ks:       p.KStress,
+		kr:       p.KRelax,
+		n0:       p.N0,
+		dt:       cfg.EpochYears,
+		scale:    p.MaxVTHShift / p.N0,
+	}
+}
+
+// step advances normalized trap density n by one epoch under duty d
+// with the nominal parameters.
+func (dd *DeviationDetector) step(n, d float64) float64 {
+	create := d * dd.ks
+	lambda := create + (1-d)*dd.kr
+	if lambda == 0 {
+		return n
+	}
+	m := math.Exp(-lambda * dd.dt)
+	return m*n + dd.n0*create/lambda*(1-m)
+}
+
+// ImpliedDuty inverts one epoch step for one structure: the stress duty
+// that best explains moving the fleet-mean VTH shift from prevShift to
+// curShift. The result clamps to [0,1].
+func (dd *DeviationDetector) ImpliedDuty(prevShift, curShift float64) float64 {
+	n := prevShift / dd.scale
+	target := curShift / dd.scale
+	// The step is monotonically increasing in d (more stress, more
+	// traps), so the boundary checks orient the bisection.
+	if target <= dd.step(n, 0) {
+		return 0
+	}
+	if target >= dd.step(n, 1) {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if dd.step(n, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Deviation is the worst per-structure gap between implied and declared
+// duty across one observed epoch step.
+type Deviation struct {
+	Structure string  `json:"structure"`
+	Implied   float64 `json:"implied_duty"`
+	Declared  float64 `json:"declared_duty"`
+	Delta     float64 `json:"delta"`
+}
+
+// Check inverts the epoch step prev → cur for every structure and
+// returns the worst deviation plus whether it exceeds the tolerance.
+// prev is the previous epoch's MeanVTHShift (nil or zeros for the first
+// epoch); cur must have one entry per structure.
+func (dd *DeviationDetector) Check(prev, cur []float64) (Deviation, bool) {
+	var worst Deviation
+	for s := range dd.declared {
+		if s >= len(cur) {
+			break
+		}
+		var p float64
+		if s < len(prev) {
+			p = prev[s]
+		}
+		implied := dd.ImpliedDuty(p, cur[s])
+		delta := math.Abs(implied - dd.declared[s])
+		if delta > worst.Delta {
+			worst = Deviation{
+				Structure: dd.names[s],
+				Implied:   implied,
+				Declared:  dd.declared[s],
+				Delta:     delta,
+			}
+		}
+	}
+	return worst, worst.Delta > dd.tol
+}
+
+// Tolerance returns the armed tolerance.
+func (dd *DeviationDetector) Tolerance() float64 { return dd.tol }

@@ -1,0 +1,133 @@
+package fleetops
+
+import (
+	"math"
+	"testing"
+
+	"penelope/internal/lifetime"
+)
+
+// runFleet ages a config to completion and returns its epoch rows.
+func runFleet(t *testing.T, cfg lifetime.Config) []lifetime.EpochStats {
+	t.Helper()
+	eng, err := lifetime.New(cfg)
+	if err != nil {
+		t.Fatalf("lifetime.New: %v", err)
+	}
+	for !eng.Done() {
+		eng.Step(2)
+	}
+	return eng.Stats()
+}
+
+// attackEpochs returns the epoch indexes whose phase is "attack".
+func attackEpochs(rows []lifetime.EpochStats) (first, last int) {
+	first, last = -1, -1
+	for _, r := range rows {
+		if r.Phase == "attack" {
+			if first < 0 {
+				first = r.Epoch
+			}
+			last = r.Epoch
+		}
+	}
+	return first, last
+}
+
+// TestDetectorImpliedDutyRoundTrip: inverting a noiseless nominal step
+// recovers the duty that produced it to bisection precision.
+func TestDetectorImpliedDutyRoundTrip(t *testing.T) {
+	cfg := testConfig(1, 0, 0) // sigma 0: every chip is nominal
+	det := NewDeviationDetector(cfg, 0.1)
+	if det == nil {
+		t.Fatal("no detector for a config with a service phase")
+	}
+	for _, d := range []float64{0, 0.15, 0.35, 0.55, 0.8, 1} {
+		n := 0.2 // some partially-aged trap density
+		next := det.step(n, d)
+		got := det.ImpliedDuty(n*det.scale, next*det.scale)
+		if math.Abs(got-d) > 1e-9 {
+			t.Fatalf("ImpliedDuty round trip for d=%v: got %v", d, got)
+		}
+	}
+}
+
+// TestDetectorCleanBaselineNeverFires ages a fleet under its declared
+// workload with full process variation: the detector must stay quiet
+// for every epoch of the whole service life.
+func TestDetectorCleanBaselineNeverFires(t *testing.T) {
+	cfg := testConfig(2, 0, 0.08)
+	rows := runFleet(t, cfg)
+	det := NewDeviationDetector(cfg, DefaultDutyTolerance)
+	if det == nil {
+		t.Fatal("nil detector")
+	}
+	var prev []float64
+	for _, row := range rows {
+		dev, deviant := det.Check(prev, row.MeanVTHShift)
+		if deviant {
+			t.Fatalf("false positive at epoch %d: %+v (tolerance %v)", row.Epoch, dev, det.Tolerance())
+		}
+		prev = row.MeanVTHShift
+	}
+}
+
+// TestDetectorFlagsAttackWithinTwoEpochs substitutes a duty-1.0 attack
+// phase mid-life and checks the implied-duty monitor fires within two
+// epochs of the substitution — and re-arms cleanly after the attack
+// ends.
+func TestDetectorFlagsAttackWithinTwoEpochs(t *testing.T) {
+	// 2 years of service with a ~4-epoch attack in the middle.
+	cfg := testConfig(2, 0.3, 0.08)
+	rows := runFleet(t, cfg)
+	first, last := attackEpochs(rows)
+	if first < 0 {
+		t.Fatal("schedule has no attack epochs")
+	}
+
+	// The detector is armed with the declared (service) workload, which
+	// is what a registration promises; the attack phase is the lie.
+	det := NewDeviationDetector(cfg, DefaultDutyTolerance)
+	firedAt := -1
+	var prev []float64
+	for _, row := range rows {
+		_, deviant := det.Check(prev, row.MeanVTHShift)
+		if deviant {
+			if row.Epoch < first {
+				t.Fatalf("fired at epoch %d, before the attack started at %d", row.Epoch, first)
+			}
+			if firedAt < 0 {
+				firedAt = row.Epoch
+			}
+			if row.Epoch > last+1 {
+				t.Fatalf("still firing at epoch %d, attack ended at %d", row.Epoch, last)
+			}
+		}
+		prev = row.MeanVTHShift
+	}
+	if firedAt < 0 {
+		t.Fatal("attack never detected")
+	}
+	if firedAt > first+1 {
+		t.Fatalf("detected at epoch %d, want within 2 epochs of attack start %d", firedAt, first)
+	}
+}
+
+// TestDetectorNilWithoutServicePhase: a schedule that is all attack has
+// no declared workload to compare against.
+func TestDetectorNilWithoutServicePhase(t *testing.T) {
+	cfg := testConfig(1, 0, 0)
+	cfg.Phases = []lifetime.Phase{{Name: "attack", Years: 1, Duty: []float64{1, 1}}}
+	if det := NewDeviationDetector(cfg, 0.1); det != nil {
+		t.Fatal("detector armed with no declared workload")
+	}
+}
+
+// TestDetectorToleranceDefault: tol <= 0 falls back to the package
+// default.
+func TestDetectorToleranceDefault(t *testing.T) {
+	det := NewDeviationDetector(testConfig(1, 0, 0), 0)
+	if det.Tolerance() != DefaultDutyTolerance {
+		t.Fatalf("Tolerance() = %v, want %v", det.Tolerance(), DefaultDutyTolerance)
+	}
+}

@@ -1,0 +1,100 @@
+package fleetops
+
+import (
+	"sync"
+	"time"
+
+	"penelope/internal/circuit"
+	"penelope/internal/lifetime"
+)
+
+// testConfig is a small, fast fleet: two structures under a service
+// workload, optionally interrupted by a duty-1.0 attack phase in the
+// middle (mirroring experiments.fleetSchedule).
+func testConfig(serviceYears, attackYears float64, sigma float64) lifetime.Config {
+	p := lifetime.DefaultParams()
+	duty := []float64{0.55, 0.35}
+	var phases []lifetime.Phase
+	if attackYears > 0 {
+		pre := (serviceYears - attackYears) / 2
+		full := []float64{1, 1}
+		phases = []lifetime.Phase{
+			{Name: "service", Years: pre, Duty: duty},
+			{Name: "attack", Years: attackYears, Duty: full},
+			{Name: "service", Years: serviceYears - attackYears - pre, Duty: duty},
+		}
+	} else {
+		phases = []lifetime.Phase{{Name: "service", Years: serviceYears, Duty: duty}}
+	}
+	return lifetime.Config{
+		Structures: []string{"adder", "regfile"},
+		Phases:     phases,
+		Population: 512,
+		EpochYears: 30.0 / 365.25,
+		Seed:       1,
+		Sigma:      sigma,
+		Limit:      lifetime.DefaultLimit,
+		Params:     p,
+		Delay:      circuit.NewDelayModel(circuit.PathStats{Depth: 10, Narrow: 5}, p.MaxVTHShift, p.MaxGuardband),
+	}
+}
+
+// testBuilder ignores the registration's options and returns a fixed
+// small config, keeping scheduler tests far from the trace pipeline.
+func testBuilder(cfg lifetime.Config) ConfigBuilder {
+	return func(Registration) (lifetime.Config, error) { return cfg, nil }
+}
+
+// memStorage is an in-memory fleetops.Storage.
+type memStorage struct {
+	mu     sync.Mutex
+	fleets map[string][]byte
+	ckpts  map[string][]byte
+}
+
+func newMemStorage() *memStorage {
+	return &memStorage{fleets: make(map[string][]byte), ckpts: make(map[string][]byte)}
+}
+
+func (m *memStorage) PutFleet(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleets[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memStorage) RemoveFleet(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.fleets, name)
+	delete(m.ckpts, name)
+}
+
+func (m *memStorage) WriteFleetCheckpoint(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ckpts[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memStorage) ReadFleetCheckpoint(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.ckpts[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}

@@ -1,0 +1,669 @@
+package fleetops
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"penelope/internal/lifetime"
+)
+
+// State is a population's scheduler state.
+type State string
+
+const (
+	// StateActive populations tick on their interval.
+	StateActive State = "active"
+	// StateQuarantined populations failed MaxFailures consecutive
+	// ticks; the scheduler parks them for QuarantineCooldown, then
+	// probes — a successful probe returns them to active. Other
+	// populations are unaffected.
+	StateQuarantined State = "quarantined"
+	// StateDone populations finished their schedule.
+	StateDone State = "done"
+)
+
+// fleetTopic names the bus topic carrying a fleet's events.
+func fleetTopic(name string) string { return "fleet/" + name }
+
+// ErrExists rejects a Register for a name already scheduled; the HTTP
+// layer maps it to 409.
+var ErrExists = errors.New("fleetops: fleet already registered")
+
+// TickFunc overrides what one tick does — tests inject failures, hangs,
+// and panics here. The default (nil) steps the engine EpochsPerTick
+// epochs.
+type TickFunc func(ctx context.Context, name string, eng *lifetime.Engine) error
+
+// Config configures the scheduler.
+type Config struct {
+	// Builder turns registrations into engine configs. Nil uses
+	// ExperimentBuilder.
+	Builder ConfigBuilder
+	// Storage persists registration sidecars and checkpoints; nil keeps
+	// everything in memory.
+	Storage Storage
+	// Bus receives epoch/state events; nil disables publishing.
+	Bus *Bus
+	// Alerter evaluates alert rules per epoch; nil disables alerting.
+	Alerter *Alerter
+	// DefaultInterval spaces ticks for registrations that do not set
+	// one (default 30s).
+	DefaultInterval time.Duration
+	// MaxFailures consecutive tick failures quarantine a population
+	// (default 3).
+	MaxFailures int
+	// QuarantineCooldown is how long a quarantined population parks
+	// before a probation probe (default 5m).
+	QuarantineCooldown time.Duration
+	// TickTimeout is the watchdog deadline: a tick still running after
+	// this is cancelled, counted as a failure, and its engine abandoned
+	// in favor of the last good snapshot (default 60s).
+	TickTimeout time.Duration
+	// RetryBackoff is the base delay before retrying a failed tick,
+	// doubled per consecutive failure (default 1s).
+	RetryBackoff time.Duration
+	// Workers bounds each engine step's internal fan-out (<=0 uses
+	// GOMAXPROCS).
+	Workers int
+	// Tick overrides the tick body (tests).
+	Tick TickFunc
+}
+
+// population is one registered fleet's scheduler state. All mutable
+// fields are guarded by the scheduler mutex; the engine itself is only
+// touched by the population's (single) in-flight tick goroutine.
+type population struct {
+	reg     Registration
+	state   State
+	removed bool
+
+	eng      *lifetime.Engine
+	snapshot []byte // last good checkpoint bytes; source of truth for persistence
+	resumed  bool   // restored from a storage checkpoint at least once
+
+	epoch       int
+	totalEpochs int
+	lastStats   *lifetime.EpochStats
+	failures    int // consecutive
+	lastErr     string
+
+	ticks, tickFailures, watchdogTimeouts, quarantines uint64
+	lastTickStart                                      time.Time
+}
+
+// Status is the externally visible state of one population.
+type Status struct {
+	Name                string               `json:"name"`
+	Fleet               string               `json:"fleet"`
+	State               State                `json:"state"`
+	Epoch               int                  `json:"epoch"`
+	TotalEpochs         int                  `json:"total_epochs,omitempty"`
+	Resumed             bool                 `json:"resumed,omitempty"`
+	Interval            Duration             `json:"interval"`
+	Ticks               uint64               `json:"ticks"`
+	TickFailures        uint64               `json:"tick_failures,omitempty"`
+	WatchdogTimeouts    uint64               `json:"watchdog_timeouts,omitempty"`
+	Quarantines         uint64               `json:"quarantines,omitempty"`
+	ConsecutiveFailures int                  `json:"consecutive_failures,omitempty"`
+	LastError           string               `json:"last_error,omitempty"`
+	Alerts              AlertRules           `json:"alerts,omitempty"`
+	Last                *lifetime.EpochStats `json:"last,omitempty"`
+}
+
+// Stats is the scheduler section of /metrics.
+type Stats struct {
+	Populations      int    `json:"populations"`
+	Active           int    `json:"active"`
+	Quarantined      int    `json:"quarantined"`
+	Done             int    `json:"done"`
+	Resumed          int    `json:"resumed"`
+	Ticks            uint64 `json:"ticks"`
+	TickFailures     uint64 `json:"tick_failures"`
+	WatchdogTimeouts uint64 `json:"watchdog_timeouts"`
+	Quarantines      uint64 `json:"quarantines"`
+}
+
+// Scheduler keeps registered populations aging. Each population runs
+// its own goroutine, so a failing, hung, or quarantined fleet never
+// stalls the others.
+type Scheduler struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	pops   map[string]*population
+	closed bool
+}
+
+// NewScheduler builds a scheduler; populations are added with Register.
+func NewScheduler(cfg Config) *Scheduler {
+	if cfg.Builder == nil {
+		cfg.Builder = ExperimentBuilder
+	}
+	if cfg.DefaultInterval <= 0 {
+		cfg.DefaultInterval = 30 * time.Second
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = 3
+	}
+	if cfg.QuarantineCooldown <= 0 {
+		cfg.QuarantineCooldown = 5 * time.Minute
+	}
+	if cfg.TickTimeout <= 0 {
+		cfg.TickTimeout = 60 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Scheduler{cfg: cfg, ctx: ctx, cancel: cancel, pops: make(map[string]*population)}
+}
+
+// Register validates and admits a population, persists its sidecar, and
+// starts its tick loop (first tick runs immediately). Expensive,
+// fallible work — engine construction, checkpoint restore — happens
+// inside the first tick, under the same retry/quarantine protection as
+// any other tick.
+func (s *Scheduler) Register(reg Registration) (Status, error) {
+	if err := reg.Validate(); err != nil {
+		return Status{}, err
+	}
+	if reg.EpochsPerTick == 0 {
+		reg.EpochsPerTick = 1
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("fleetops: scheduler is closed")
+	}
+	if _, ok := s.pops[reg.Name]; ok {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("fleet %q: %w", reg.Name, ErrExists)
+	}
+	p := &population{reg: reg, state: StateActive}
+	s.pops[reg.Name] = p
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	if s.cfg.Storage != nil {
+		if data, err := json.Marshal(reg); err == nil {
+			s.cfg.Storage.PutFleet(reg.Name, data)
+		}
+	}
+	if s.cfg.Bus != nil {
+		s.cfg.Bus.Touch(fleetTopic(reg.Name))
+		s.cfg.Bus.Publish(fleetTopic(reg.Name), "state",
+			StateEvent{Fleet: reg.Name, State: StateActive, Reason: "registered"})
+	}
+	go s.loop(p)
+	return s.statusOf(p), nil
+}
+
+// StateEvent is the payload of "state" bus events.
+type StateEvent struct {
+	Fleet  string `json:"fleet"`
+	State  State  `json:"state"`
+	Epoch  int    `json:"epoch"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// EpochEvent is the payload of "epoch" bus events: the fleet name plus
+// the epoch's aggregate row.
+type EpochEvent struct {
+	Fleet string `json:"fleet"`
+	lifetime.EpochStats
+}
+
+// Deregister stops a population, removes its sidecars, and ends its
+// event stream.
+func (s *Scheduler) Deregister(name string) error {
+	s.mu.Lock()
+	p, ok := s.pops[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("fleetops: fleet %q not registered", name)
+	}
+	p.removed = true
+	delete(s.pops, name)
+	s.mu.Unlock()
+	if s.cfg.Storage != nil {
+		s.cfg.Storage.RemoveFleet(name)
+	}
+	if s.cfg.Bus != nil {
+		s.cfg.Bus.Drop(fleetTopic(name))
+	}
+	return nil
+}
+
+// Get returns one population's status.
+func (s *Scheduler) Get(name string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pops[name]
+	if !ok {
+		return Status{}, false
+	}
+	return s.statusLocked(p), true
+}
+
+// List returns every population's status, sorted by name.
+func (s *Scheduler) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.pops))
+	for _, p := range s.pops {
+		out = append(out, s.statusLocked(p))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Quarantined returns the names of quarantined populations, sorted.
+func (s *Scheduler) Quarantined() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name, p := range s.pops {
+		if p.state == StateQuarantined {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns aggregate scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Populations: len(s.pops)}
+	for _, p := range s.pops {
+		switch p.state {
+		case StateActive:
+			st.Active++
+		case StateQuarantined:
+			st.Quarantined++
+		case StateDone:
+			st.Done++
+		}
+		if p.resumed {
+			st.Resumed++
+		}
+		st.Ticks += p.ticks
+		st.TickFailures += p.tickFailures
+		st.WatchdogTimeouts += p.watchdogTimeouts
+		st.Quarantines += p.quarantines
+	}
+	return st
+}
+
+func (s *Scheduler) statusOf(p *population) Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(p)
+}
+
+func (s *Scheduler) statusLocked(p *population) Status {
+	fleet := p.reg.Fleet
+	if fleet == "" {
+		fleet = "penelope"
+	}
+	interval := p.reg.Interval
+	if interval <= 0 {
+		interval = Duration(s.cfg.DefaultInterval)
+	}
+	st := Status{
+		Name:                p.reg.Name,
+		Fleet:               fleet,
+		State:               p.state,
+		Epoch:               p.epoch,
+		TotalEpochs:         p.totalEpochs,
+		Resumed:             p.resumed,
+		Interval:            interval,
+		Ticks:               p.ticks,
+		TickFailures:        p.tickFailures,
+		WatchdogTimeouts:    p.watchdogTimeouts,
+		Quarantines:         p.quarantines,
+		ConsecutiveFailures: p.failures,
+		LastError:           p.lastErr,
+		Alerts:              p.reg.Alerts,
+	}
+	if p.lastStats != nil {
+		row := *p.lastStats
+		st.Last = &row
+	}
+	return st
+}
+
+// loop is one population's life: sleep, tick, repeat — with backoff on
+// failure, a long park when quarantined, and exit when done or removed.
+func (s *Scheduler) loop(p *population) {
+	defer s.wg.Done()
+	first := true
+	for {
+		d, exit := s.nextDelay(p, first)
+		first = false
+		if exit {
+			return
+		}
+		if d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-s.ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		} else if s.ctx.Err() != nil {
+			return
+		}
+		s.mu.Lock()
+		gone := p.removed || p.state == StateDone
+		s.mu.Unlock()
+		if gone {
+			return
+		}
+		s.tick(p)
+	}
+}
+
+// nextDelay picks the next sleep for a population: immediately for the
+// first tick, exponential backoff after failures, the quarantine
+// cooldown when parked, otherwise the registration interval (floored by
+// its cooldown since the last tick start).
+func (s *Scheduler) nextDelay(p *population, first bool) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.removed || p.state == StateDone {
+		return 0, true
+	}
+	if first {
+		return 0, false
+	}
+	if p.state == StateQuarantined {
+		return s.cfg.QuarantineCooldown, false
+	}
+	if p.failures > 0 {
+		shift := p.failures - 1
+		if shift > 10 {
+			shift = 10
+		}
+		d := s.cfg.RetryBackoff << shift
+		if d > s.cfg.QuarantineCooldown {
+			d = s.cfg.QuarantineCooldown
+		}
+		return d, false
+	}
+	d := time.Duration(p.reg.Interval)
+	if d <= 0 {
+		d = s.cfg.DefaultInterval
+	}
+	if cd := time.Duration(p.reg.Cooldown); cd > 0 && !p.lastTickStart.IsZero() {
+		if until := time.Until(p.lastTickStart.Add(cd)); until > d {
+			d = until
+		}
+	}
+	return d, false
+}
+
+// tickResult carries one tick's outcome out of its goroutine.
+type tickResult struct {
+	eng      *lifetime.Engine
+	rows     []lifetime.EpochStats
+	snapshot []byte
+	resumed  bool
+	err      error
+}
+
+// tick runs one tick under the watchdog: the tick body runs in its own
+// goroutine with a deadline; if the deadline passes, the tick is
+// abandoned (its engine with it — the next tick reloads from the last
+// good snapshot) and counted as a failure.
+func (s *Scheduler) tick(p *population) {
+	s.mu.Lock()
+	p.lastTickStart = time.Now()
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.TickTimeout)
+	defer cancel()
+	ch := make(chan tickResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- tickResult{err: fmt.Errorf("tick panicked: %v", r)}
+			}
+		}()
+		ch <- s.runTick(ctx, p)
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			s.tickFailed(p, res.err)
+		} else {
+			s.tickOK(p, res)
+		}
+	case <-ctx.Done():
+		if s.ctx.Err() != nil {
+			// Shutdown: leave the in-flight tick to die with the
+			// process; the last good snapshot is what persists.
+			return
+		}
+		s.watchdogFired(p)
+	}
+}
+
+// runTick executes the tick body in the watchdog goroutine: obtain the
+// engine (build or restore — both fallible, both under the same
+// protection), advance it, and snapshot the result. It never touches
+// scheduler state; results are applied by tickOK/tickFailed.
+func (s *Scheduler) runTick(ctx context.Context, p *population) tickResult {
+	s.mu.Lock()
+	eng := p.eng
+	snap := p.snapshot
+	reg := p.reg
+	s.mu.Unlock()
+
+	resumed := false
+	if eng == nil {
+		if snap == nil && s.cfg.Storage != nil {
+			if b, ok := s.cfg.Storage.ReadFleetCheckpoint(reg.Name); ok {
+				snap = b
+			}
+		}
+		if snap != nil {
+			restored, err := lifetime.FromSnapshot(snap)
+			if err != nil {
+				return tickResult{err: fmt.Errorf("restoring checkpoint: %w", err)}
+			}
+			eng = restored
+			resumed = true
+		} else {
+			cfg, err := s.cfg.Builder(reg)
+			if err != nil {
+				return tickResult{err: fmt.Errorf("building engine config: %w", err)}
+			}
+			built, err := lifetime.New(cfg)
+			if err != nil {
+				return tickResult{err: fmt.Errorf("building engine: %w", err)}
+			}
+			eng = built
+		}
+	}
+
+	prev := eng.Epoch()
+	if s.cfg.Tick != nil {
+		if err := s.cfg.Tick(ctx, reg.Name, eng); err != nil {
+			return tickResult{err: err}
+		}
+	} else {
+		for i := 0; i < reg.EpochsPerTick && !eng.Done(); i++ {
+			if err := ctx.Err(); err != nil {
+				return tickResult{err: err}
+			}
+			eng.Step(s.cfg.Workers)
+		}
+	}
+	rows := append([]lifetime.EpochStats(nil), eng.Stats()[prev:eng.Epoch()]...)
+	snapshot, err := eng.Snapshot()
+	if err != nil {
+		return tickResult{err: fmt.Errorf("snapshotting engine: %w", err)}
+	}
+	return tickResult{eng: eng, rows: rows, snapshot: snapshot, resumed: resumed}
+}
+
+// tickOK applies a successful tick: adopt the engine and snapshot,
+// clear failures (announcing recovery if the population was
+// quarantined), persist the checkpoint, publish epoch events, and
+// evaluate alert rules.
+func (s *Scheduler) tickOK(p *population, res tickResult) {
+	s.mu.Lock()
+	var prevVTH []float64
+	if p.lastStats != nil {
+		prevVTH = p.lastStats.MeanVTHShift
+	}
+	wasQuarantined := p.state == StateQuarantined
+	p.eng = res.eng
+	p.snapshot = res.snapshot
+	if res.resumed {
+		p.resumed = true
+	}
+	p.ticks++
+	p.failures = 0
+	p.lastErr = ""
+	p.epoch = res.eng.Epoch()
+	p.totalEpochs = res.eng.TotalEpochs()
+	if n := len(res.rows); n > 0 {
+		row := res.rows[n-1]
+		p.lastStats = &row
+	}
+	done := res.eng.Done()
+	if done {
+		p.state = StateDone
+	} else {
+		p.state = StateActive
+	}
+	reg := p.reg
+	epoch := p.epoch
+	s.mu.Unlock()
+
+	if s.cfg.Storage != nil {
+		s.cfg.Storage.WriteFleetCheckpoint(reg.Name, res.snapshot)
+	}
+	if s.cfg.Bus != nil {
+		if wasQuarantined {
+			s.cfg.Bus.Publish(fleetTopic(reg.Name), "state",
+				StateEvent{Fleet: reg.Name, State: StateActive, Epoch: epoch, Reason: "recovered from quarantine"})
+		}
+		for _, row := range res.rows {
+			s.cfg.Bus.Publish(fleetTopic(reg.Name), "epoch", EpochEvent{Fleet: reg.Name, EpochStats: row})
+		}
+	}
+	if s.cfg.Alerter != nil && reg.Alerts.Enabled() {
+		var det *DeviationDetector
+		if reg.Alerts.DutyTolerance > 0 {
+			det = NewDeviationDetector(res.eng.Config(), reg.Alerts.DutyTolerance)
+		}
+		for _, row := range res.rows {
+			s.cfg.Alerter.Observe(reg.Name, reg.Alerts, det, prevVTH, row)
+			prevVTH = row.MeanVTHShift
+		}
+	}
+	if done && s.cfg.Bus != nil {
+		s.cfg.Bus.Publish(fleetTopic(reg.Name), "state",
+			StateEvent{Fleet: reg.Name, State: StateDone, Epoch: epoch, Reason: "schedule complete"})
+	}
+}
+
+// tickFailed counts a consecutive failure and quarantines the
+// population once it reaches MaxFailures.
+func (s *Scheduler) tickFailed(p *population, err error) {
+	s.mu.Lock()
+	p.ticks++
+	p.tickFailures++
+	p.failures++
+	p.lastErr = err.Error()
+	quarantine := p.failures >= s.cfg.MaxFailures && p.state == StateActive
+	if quarantine {
+		p.state = StateQuarantined
+		p.quarantines++
+	}
+	reg := p.reg
+	epoch := p.epoch
+	s.mu.Unlock()
+	if quarantine && s.cfg.Bus != nil {
+		s.cfg.Bus.Publish(fleetTopic(reg.Name), "state",
+			StateEvent{Fleet: reg.Name, State: StateQuarantined, Epoch: epoch,
+				Reason: fmt.Sprintf("%d consecutive tick failures: %v", s.cfg.MaxFailures, err)})
+	}
+}
+
+// watchdogFired abandons a tick that blew its deadline: the engine is
+// dropped (the abandoned goroutine may still be mutating it), so the
+// next tick reloads from the last good snapshot, and the timeout counts
+// toward quarantine like any other failure.
+func (s *Scheduler) watchdogFired(p *population) {
+	s.mu.Lock()
+	p.eng = nil
+	p.watchdogTimeouts++
+	s.mu.Unlock()
+	s.tickFailed(p, fmt.Errorf("watchdog: tick exceeded %s deadline", s.cfg.TickTimeout))
+	if s.cfg.Bus != nil {
+		s.mu.Lock()
+		reg, epoch, state := p.reg, p.epoch, p.state
+		s.mu.Unlock()
+		if state != StateQuarantined { // quarantine transition already announced
+			s.cfg.Bus.Publish(fleetTopic(reg.Name), "state",
+				StateEvent{Fleet: reg.Name, State: state, Epoch: epoch, Reason: "watchdog cancelled a stalled tick"})
+		}
+	}
+}
+
+// Close stops every loop and persists each population's last good
+// checkpoint, bounded by grace — SIGTERM mid-tick still leaves every
+// registered population resumable from its last completed tick.
+func (s *Scheduler) Close(grace time.Duration) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	select {
+	case <-done:
+	case <-time.After(grace):
+	}
+	if s.cfg.Storage == nil {
+		return
+	}
+	s.mu.Lock()
+	type pending struct {
+		name string
+		snap []byte
+	}
+	var out []pending
+	for name, p := range s.pops {
+		if p.snapshot != nil {
+			out = append(out, pending{name, p.snapshot})
+		}
+	}
+	s.mu.Unlock()
+	for _, pn := range out {
+		s.cfg.Storage.WriteFleetCheckpoint(pn.name, pn.snap)
+	}
+}

@@ -1,0 +1,373 @@
+package fleetops
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"penelope/internal/lifetime"
+)
+
+// fastCfg returns scheduler settings tuned for tests: millisecond
+// ticks, two failures to quarantine, short cooldowns.
+func fastCfg(cfg lifetime.Config) Config {
+	return Config{
+		Builder:            testBuilder(cfg),
+		DefaultInterval:    2 * time.Millisecond,
+		MaxFailures:        2,
+		QuarantineCooldown: 25 * time.Millisecond,
+		TickTimeout:        2 * time.Second,
+		RetryBackoff:       time.Millisecond,
+		Workers:            2,
+	}
+}
+
+func TestSchedulerRunsToDone(t *testing.T) {
+	cfg := testConfig(0.5, 0, 0.05) // ~7 epochs
+	bus := NewBus(0)
+	sc := NewScheduler(func() Config { c := fastCfg(cfg); c.Bus = bus; return c }())
+	defer sc.Close(time.Second)
+
+	sub := bus.Subscribe(fleetTopic("pop"), 0, 256)
+	defer sub.Close()
+	bus.Touch(fleetTopic("pop"))
+
+	st, err := sc.Register(Registration{Name: "pop", EpochsPerTick: 2})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if st.State != StateActive {
+		t.Fatalf("initial state = %v, want active", st.State)
+	}
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("pop")
+		return ok && st.State == StateDone
+	}) {
+		st, _ := sc.Get("pop")
+		t.Fatalf("population never finished: %+v", st)
+	}
+	st, _ = sc.Get("pop")
+	if st.Epoch != st.TotalEpochs || st.Epoch == 0 {
+		t.Fatalf("done at epoch %d of %d", st.Epoch, st.TotalEpochs)
+	}
+	// EpochStats rows are 0-indexed, so the last row of a finished
+	// schedule is TotalEpochs-1.
+	if st.Last == nil || st.Last.Epoch != st.Epoch-1 {
+		t.Fatalf("missing or stale last stats: %+v", st.Last)
+	}
+
+	// The bus saw every epoch in order, plus the terminal state event.
+	epochs, doneSeen := 0, false
+	deadline := time.After(2 * time.Second)
+	for !doneSeen {
+		select {
+		case ev := <-sub.C():
+			switch ev.Type {
+			case "epoch":
+				epochs++
+			case "state":
+				var se StateEvent
+				if err := json.Unmarshal(ev.Data, &se); err != nil {
+					t.Fatalf("bad state event %s: %v", ev.Data, err)
+				}
+				if se.State == StateDone {
+					doneSeen = true
+				}
+			}
+		case <-deadline:
+			t.Fatalf("saw %d epoch events (want %d) and no terminal state event", epochs, st.TotalEpochs)
+		}
+	}
+	if epochs != st.TotalEpochs {
+		t.Fatalf("bus carried %d epoch events, want %d", epochs, st.TotalEpochs)
+	}
+
+	stats := sc.Stats()
+	if stats.Done != 1 || stats.TickFailures != 0 {
+		t.Fatalf("stats = %+v, want one done population with no failures", stats)
+	}
+}
+
+// TestSchedulerQuarantineAndRecovery drives one population into
+// quarantine with injected tick failures while a healthy population
+// keeps aging, then lets the quarantined one recover via its probation
+// probe.
+func TestSchedulerQuarantineAndRecovery(t *testing.T) {
+	cfg := testConfig(3, 0, 0.05)
+	var failing atomic.Bool
+	failing.Store(true)
+	scCfg := fastCfg(cfg)
+	scCfg.Tick = func(ctx context.Context, name string, eng *lifetime.Engine) error {
+		if name == "bad" && failing.Load() {
+			return errors.New("injected tick failure")
+		}
+		eng.Step(2)
+		return nil
+	}
+	sc := NewScheduler(scCfg)
+	defer sc.Close(time.Second)
+
+	for _, name := range []string{"bad", "good"} {
+		if _, err := sc.Register(Registration{Name: name}); err != nil {
+			t.Fatalf("Register(%s): %v", name, err)
+		}
+	}
+
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("bad")
+		return ok && st.State == StateQuarantined
+	}) {
+		t.Fatal("bad population never quarantined")
+	}
+	if q := sc.Quarantined(); len(q) != 1 || q[0] != "bad" {
+		t.Fatalf("Quarantined() = %v, want [bad]", q)
+	}
+	st, _ := sc.Get("bad")
+	if st.TickFailures < uint64(scCfg.MaxFailures) || st.Quarantines != 1 {
+		t.Fatalf("bad status after quarantine: %+v", st)
+	}
+
+	// The healthy population is not stalled by its quarantined sibling.
+	goodBefore, _ := sc.Get("good")
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("good")
+		return ok && (st.Epoch > goodBefore.Epoch || st.State == StateDone)
+	}) {
+		t.Fatal("good population stalled while bad was quarantined")
+	}
+
+	// Heal the sink; the probation probe after the cooldown recovers it.
+	failing.Store(false)
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("bad")
+		return ok && st.State != StateQuarantined && st.Epoch > 0
+	}) {
+		st, _ := sc.Get("bad")
+		t.Fatalf("bad population never recovered: %+v", st)
+	}
+	st, _ = sc.Get("bad")
+	if st.ConsecutiveFailures != 0 || st.LastError != "" {
+		t.Fatalf("recovery did not clear failure state: %+v", st)
+	}
+}
+
+// TestSchedulerWatchdog hangs a tick past its deadline and checks the
+// watchdog abandons it, counts it, and that the population still makes
+// progress once ticks behave again.
+func TestSchedulerWatchdog(t *testing.T) {
+	cfg := testConfig(3, 0, 0.05)
+	var hang atomic.Bool
+	hang.Store(true)
+	scCfg := fastCfg(cfg)
+	scCfg.TickTimeout = 15 * time.Millisecond
+	scCfg.Tick = func(ctx context.Context, name string, eng *lifetime.Engine) error {
+		if hang.Load() {
+			<-ctx.Done() // wedge until the watchdog cancels us
+			return ctx.Err()
+		}
+		eng.Step(2)
+		return nil
+	}
+	sc := NewScheduler(scCfg)
+	defer sc.Close(time.Second)
+
+	if _, err := sc.Register(Registration{Name: "wedged"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("wedged")
+		return ok && st.WatchdogTimeouts >= 1
+	}) {
+		t.Fatal("watchdog never fired")
+	}
+	hang.Store(false)
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("wedged")
+		return ok && st.Epoch > 0 && st.State != StateQuarantined
+	}) {
+		st, _ := sc.Get("wedged")
+		t.Fatalf("population never progressed after watchdog recovery: %+v", st)
+	}
+}
+
+// TestSchedulerResume closes a scheduler mid-schedule and restarts it
+// against the same storage: the population resumes from its checkpoint
+// (Resumed flag set) instead of restarting at epoch zero, and the
+// resumed trajectory matches an uninterrupted reference run exactly.
+func TestSchedulerResume(t *testing.T) {
+	cfg := testConfig(0.5, 0, 0.08)
+	storage := newMemStorage()
+
+	scCfg := fastCfg(cfg)
+	scCfg.Storage = storage
+	sc := NewScheduler(scCfg)
+	if _, err := sc.Register(Registration{Name: "pop", EpochsPerTick: 1}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("pop")
+		return ok && st.Epoch >= 2 && st.State == StateActive
+	}) {
+		t.Fatal("population never reached epoch 2")
+	}
+	sc.Close(time.Second)
+
+	ck, ok := storage.ReadFleetCheckpoint("pop")
+	if !ok || len(ck) == 0 {
+		t.Fatal("Close left no checkpoint behind")
+	}
+	if _, ok := storage.fleets["pop"]; !ok {
+		t.Fatal("registration sidecar missing")
+	}
+
+	sc2 := NewScheduler(scCfg)
+	defer sc2.Close(time.Second)
+	if _, err := sc2.Register(Registration{Name: "pop", EpochsPerTick: 4}); err != nil {
+		t.Fatalf("re-Register: %v", err)
+	}
+	if !waitFor(10*time.Second, func() bool {
+		st, ok := sc2.Get("pop")
+		return ok && st.State == StateDone
+	}) {
+		st, _ := sc2.Get("pop")
+		t.Fatalf("resumed population never finished: %+v", st)
+	}
+	st, _ := sc2.Get("pop")
+	if !st.Resumed {
+		t.Fatal("resumed population not flagged Resumed")
+	}
+
+	// Byte-identical resume: the final epoch row matches a reference
+	// engine run with no interruption.
+	ref, err := lifetime.New(cfg)
+	if err != nil {
+		t.Fatalf("reference engine: %v", err)
+	}
+	for !ref.Done() {
+		ref.Step(2)
+	}
+	want := ref.Stats()[len(ref.Stats())-1]
+	got := *st.Last
+	if got.Epoch != want.Epoch || got.P99Guardband != want.P99Guardband ||
+		got.ViolatedFraction != want.ViolatedFraction {
+		t.Fatalf("resumed trajectory diverged:\n got %+v\nwant %+v", got, want)
+	}
+	for i := range want.MeanVTHShift {
+		if got.MeanVTHShift[i] != want.MeanVTHShift[i] {
+			t.Fatalf("MeanVTHShift[%d] = %v, want %v (bit-exact)", i, got.MeanVTHShift[i], want.MeanVTHShift[i])
+		}
+	}
+}
+
+func TestSchedulerDeregisterAndDuplicates(t *testing.T) {
+	cfg := testConfig(3, 0, 0.05)
+	storage := newMemStorage()
+	bus := NewBus(0)
+	scCfg := fastCfg(cfg)
+	scCfg.Storage = storage
+	scCfg.Bus = bus
+	sc := NewScheduler(scCfg)
+	defer sc.Close(time.Second)
+
+	if _, err := sc.Register(Registration{Name: "pop"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := sc.Register(Registration{Name: "pop"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Register error = %v, want ErrExists", err)
+	}
+	if _, err := sc.Register(Registration{Name: "Bad Name!"}); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if _, err := sc.Register(Registration{Name: "x", Fleet: "warp-core"}); err == nil {
+		t.Fatal("unknown fleet accepted")
+	}
+
+	sub := bus.Subscribe(fleetTopic("pop"), 0, 16)
+	if err := sc.Deregister("pop"); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if _, ok := sc.Get("pop"); ok {
+		t.Fatal("deregistered population still listed")
+	}
+	if _, ok := storage.fleets["pop"]; ok {
+		t.Fatal("deregistered sidecar still stored")
+	}
+	if bus.HasTopic(fleetTopic("pop")) {
+		t.Fatal("deregistered topic still exists")
+	}
+	// The subscriber's channel closes so streams end.
+	if !waitFor(time.Second, func() bool {
+		for {
+			select {
+			case _, ok := <-sub.C():
+				if !ok {
+					return true
+				}
+			default:
+				return false
+			}
+		}
+	}) {
+		t.Fatal("subscription never closed after Deregister")
+	}
+	if err := sc.Deregister("pop"); err == nil {
+		t.Fatal("double Deregister succeeded")
+	}
+}
+
+// TestSchedulerCloseIsIdempotentAndPersists covers Close: it persists
+// the last good snapshot even when no clean tick boundary coincides
+// with shutdown, and calling it twice is safe.
+func TestSchedulerCloseIsIdempotentAndPersists(t *testing.T) {
+	cfg := testConfig(3, 0, 0.05)
+	storage := newMemStorage()
+	scCfg := fastCfg(cfg)
+	scCfg.Storage = storage
+	sc := NewScheduler(scCfg)
+	if _, err := sc.Register(Registration{Name: "pop"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("pop")
+		return ok && st.Epoch >= 1
+	}) {
+		t.Fatal("population never ticked")
+	}
+	sc.Close(time.Second)
+	sc.Close(time.Second) // idempotent
+	if _, ok := storage.ReadFleetCheckpoint("pop"); !ok {
+		t.Fatal("Close did not persist the checkpoint")
+	}
+	if _, err := sc.Register(Registration{Name: "late"}); err == nil {
+		t.Fatal("Register after Close succeeded")
+	}
+}
+
+// TestSchedulerBuilderFailureQuarantines exercises the registration
+// whose engine cannot even be built: the failure lands in the tick
+// path, retries, and quarantines without wedging Register.
+func TestSchedulerBuilderFailureQuarantines(t *testing.T) {
+	scCfg := fastCfg(testConfig(1, 0, 0.05))
+	scCfg.Builder = func(reg Registration) (lifetime.Config, error) {
+		return lifetime.Config{}, fmt.Errorf("no such workload")
+	}
+	sc := NewScheduler(scCfg)
+	defer sc.Close(time.Second)
+	if _, err := sc.Register(Registration{Name: "doomed"}); err != nil {
+		t.Fatalf("Register should defer builder errors to the tick path, got %v", err)
+	}
+	if !waitFor(5*time.Second, func() bool {
+		st, ok := sc.Get("doomed")
+		return ok && st.State == StateQuarantined
+	}) {
+		t.Fatal("unbuildable population never quarantined")
+	}
+	st, _ := sc.Get("doomed")
+	if st.LastError == "" {
+		t.Fatal("quarantined status carries no error")
+	}
+}

@@ -2,6 +2,7 @@ package lifetime
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -58,6 +59,23 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Snapshot serializes the engine's resumable state to memory — the
+// in-RAM form of WriteCheckpoint, for callers (the fleetops scheduler)
+// that keep a live checkpoint of every population between epoch steps
+// and only touch disk when persistence is on.
+func (e *Engine) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FromSnapshot rebuilds an engine from a Snapshot payload.
+func FromSnapshot(data []byte) (*Engine, error) {
+	return ReadCheckpoint(bytes.NewReader(data))
 }
 
 // ReadCheckpoint rebuilds an engine from a checkpoint stream: the

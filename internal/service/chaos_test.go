@@ -16,11 +16,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"penelope/internal/circuit"
 	"penelope/internal/experiments"
+	"penelope/internal/fleetops"
+	"penelope/internal/lifetime"
 	"penelope/internal/service"
 	"penelope/internal/service/faultrunner"
 	"penelope/internal/store"
@@ -438,4 +442,182 @@ func fetch(t *testing.T, url string) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+// chaosFleetConfig is the deterministic synthetic population the fleet
+// chaos tests age: small, fast, with real process variation so resumed
+// trajectories have something nontrivial to diverge on.
+func chaosFleetConfig() lifetime.Config {
+	p := lifetime.DefaultParams()
+	return lifetime.Config{
+		Structures: []string{"adder", "regfile"},
+		// ~73 epochs: long enough that the SIGTERM below always lands
+		// mid-run, short enough that the resumed run finishes in well
+		// under a second of 1ms ticks.
+		Phases: []lifetime.Phase{{Name: "service", Years: 6.0, Duty: []float64{0.55, 0.35}}},
+		Population: 512,
+		EpochYears: 30.0 / 365.25,
+		Seed:       11,
+		Sigma:      0.08,
+		Limit:      lifetime.DefaultLimit,
+		Params:     p,
+		Delay:      circuit.NewDelayModel(circuit.PathStats{Depth: 10, Narrow: 5}, p.MaxVTHShift, p.MaxGuardband),
+	}
+}
+
+// TestChaosFleetSIGTERMMidTickResumes is the continuous-operations
+// drain guarantee: Close (the SIGTERM path) lands while registered
+// populations are mid-tick, every population's checkpoint persists
+// within the drain grace, and a restarted server resumes each one from
+// its sidecar — finishing with a trajectory byte-identical to an
+// uninterrupted reference run of the same engine config.
+func TestChaosFleetSIGTERMMidTickResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := chaosFleetConfig()
+	mk := func() (*service.Server, *httptest.Server) {
+		s, err := service.New(service.Config{
+			Workers: 2, DataDir: dir, DrainGrace: 5 * time.Second,
+			FleetTick:        time.Millisecond,
+			FleetTickTimeout: 2 * time.Second,
+			FleetBuilder: func(fleetops.Registration) (lifetime.Config, error) {
+				return cfg, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, httptest.NewServer(s.Handler())
+	}
+
+	s1, ts1 := mk()
+	names := []string{"fleet-a", "fleet-b"}
+	for _, name := range names {
+		resp, err := http.Post(ts1.URL+"/v1/fleets", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"name":%q}`, name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %s: status %d", name, resp.StatusCode)
+		}
+	}
+
+	// Let every population tick a few epochs; with 1ms ticks the Close
+	// below almost certainly lands mid-tick for at least one of them.
+	preKill := make(map[string]int, len(names))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ready := 0
+		for _, name := range names {
+			// Sticky: once a population has been seen active past epoch
+			// 2 it stays counted, so one fleet racing ahead can't starve
+			// the wait on the other.
+			if _, ok := preKill[name]; ok {
+				ready++
+				continue
+			}
+			if st, ok := s1.FleetStatus(name); ok && st.Epoch >= 2 && st.State == fleetops.StateActive {
+				preKill[name] = st.Epoch
+				ready++
+			}
+		}
+		if ready == len(names) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("populations never reached epoch 2")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ts1.Close()
+	start := time.Now()
+	s1.Close() // SIGTERM: drain, checkpoint every population
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("drain took %v, want within the grace", took)
+	}
+
+	// Phase 2: a fresh boot over the same data dir resumes both
+	// populations automatically (no re-registration) and runs them to
+	// done.
+	s2, ts2 := mk()
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+	// The engine restore happens inside the first tick (under the same
+	// retry protection as any tick), so wait for it: each population
+	// must come back flagged resumed, continuing past its pre-kill epoch
+	// rather than restarting from zero.
+	for _, name := range names {
+		if _, ok := s2.FleetStatus(name); !ok {
+			t.Fatalf("restart lost fleet %s", name)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			st, _ := s2.FleetStatus(name)
+			if st.Ticks >= 1 {
+				if !st.Resumed {
+					t.Fatalf("fleet %s ticked without resuming its checkpoint: %+v", name, st)
+				}
+				if st.Epoch <= preKill[name] {
+					t.Fatalf("fleet %s resumed at epoch %d, not past pre-kill epoch %d", name, st.Epoch, preKill[name])
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet %s never ticked after restart: %+v", name, st)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	for _, name := range names {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			st, ok := s2.FleetStatus(name)
+			if ok && st.State == fleetops.StateDone {
+				if !st.Resumed {
+					t.Errorf("fleet %s finished without the resumed flag", name)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet %s never finished after resume: %+v", name, st)
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}
+
+	// Byte-identical resume: the final epoch row of each resumed
+	// population equals an uninterrupted reference run's.
+	ref, err := lifetime.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ref.Done() {
+		ref.Step(2)
+	}
+	want := ref.Stats()[len(ref.Stats())-1]
+	for _, name := range names {
+		st, _ := s2.FleetStatus(name)
+		if st.Last == nil {
+			t.Fatalf("fleet %s has no final stats", name)
+		}
+		if !reflect.DeepEqual(*st.Last, want) {
+			t.Errorf("fleet %s resumed trajectory diverged:\n got %+v\nwant %+v", name, *st.Last, want)
+		}
+	}
+
+	// /metrics reports the boot-time resumes.
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m service.Metrics
+	if err := jsonDecode(resp, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fleet.ResumedBoot != uint64(len(names)) {
+		t.Errorf("resumed_at_boot = %d, want %d", m.Fleet.ResumedBoot, len(names))
+	}
 }

@@ -40,4 +40,7 @@ type Job struct {
 	// run, more when transient failures were retried.
 	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// SweepID groups the jobs of one sweep submission; their completions
+	// stream as "point" events on /v1/sweeps/{id}/events.
+	SweepID string `json:"sweep_id,omitempty"`
 }

@@ -10,12 +10,15 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"penelope/internal/experiments"
+	"penelope/internal/fleetops"
 	"penelope/internal/store"
 )
 
@@ -85,8 +88,40 @@ type Config struct {
 	// progressive shedding starts (default 0.75).
 	HighWater float64
 	// DrainGrace bounds how long Close waits for a cancelled in-flight
-	// job to persist its state and return (default 5s).
+	// job to persist its state and return (default 5s). The fleet
+	// scheduler checkpoints every registered population within the same
+	// grace.
 	DrainGrace time.Duration
+
+	// FleetTick is the default interval between scheduled fleet epoch
+	// ticks for registrations that do not set their own (default 30s).
+	FleetTick time.Duration
+	// FleetTickTimeout is the fleet watchdog deadline: a tick running
+	// longer is cancelled and counted as a failure (default 60s).
+	FleetTickTimeout time.Duration
+	// FleetMaxFailures consecutive tick failures quarantine a fleet
+	// population (default 3).
+	FleetMaxFailures int
+	// FleetRetryBackoff is the base delay before retrying a failed
+	// fleet tick (default 1s).
+	FleetRetryBackoff time.Duration
+	// FleetQuarantine is how long a quarantined population parks before
+	// a probation probe (default 5m).
+	FleetQuarantine time.Duration
+	// FleetBuilder overrides how fleet registrations become engine
+	// configs (tests); nil measures duty profiles from the trace
+	// workload like the lifetime experiment.
+	FleetBuilder fleetops.ConfigBuilder
+	// AlertWebhook POSTs fired fleet alerts to this URL through the
+	// hardened delivery pipeline. Empty disables webhook delivery
+	// (alerts still publish on the event bus).
+	AlertWebhook string
+	// AlertSink overrides the webhook sink (tests inject seeded fault
+	// sinks); takes precedence over AlertWebhook.
+	AlertSink fleetops.Sink
+	// AlertSeed drives the delivery pipeline's deterministic retry
+	// jitter.
+	AlertSeed uint64
 }
 
 // Server is the experiment service: it validates requests against the
@@ -101,6 +136,11 @@ type Server struct {
 	store   *store.Store
 	limiter *rateLimiter
 	backoff *backoffController
+
+	bus       *fleetops.Bus
+	sched     *fleetops.Scheduler
+	alerter   *fleetops.Alerter
+	deliverer *fleetops.Deliverer
 
 	baseCtx   context.Context
 	cancelCtx context.CancelFunc
@@ -126,6 +166,16 @@ type Server struct {
 
 	clients        map[string]*ClientCounters
 	clientOverflow ClientCounters // aggregate beyond the tracked bound
+
+	sweeps    map[string]*sweepTrack // in-flight sweeps, for point streaming
+	sweepSeq  uint64
+	fleetBoot uint64 // registrations reloaded from sidecars at boot
+}
+
+// sweepTrack counts a sweep's completed points so the stream can close
+// with a "done" event.
+type sweepTrack struct {
+	total, completed, failed int
 }
 
 // ClientCounters are the per-client admission counters in /metrics.
@@ -181,6 +231,7 @@ func New(cfg Config) (*Server, error) {
 		cancelCtx: cancel,
 		jobs:      make(map[string]*Job),
 		clients:   make(map[string]*ClientCounters),
+		sweeps:    make(map[string]*sweepTrack),
 	}
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir)
@@ -194,8 +245,74 @@ func New(cfg Config) (*Server, error) {
 	if s.cfg.Runner == nil {
 		s.cfg.Runner = s.registryRunner
 	}
+	s.initFleetops()
 	s.recoverInterrupted()
+	s.recoverFleets()
 	return s, nil
+}
+
+// initFleetops wires the continuous-operations layer: the event bus,
+// the alert pipeline (when a sink is configured), and the self-healing
+// fleet scheduler backed by the disk store's sidecars.
+func (s *Server) initFleetops() {
+	s.bus = fleetops.NewBus(0)
+	sink := s.cfg.AlertSink
+	if sink == nil && s.cfg.AlertWebhook != "" {
+		sink = &fleetops.WebhookSink{URL: s.cfg.AlertWebhook}
+	}
+	if sink != nil {
+		s.deliverer = fleetops.NewDeliverer(fleetops.DelivererConfig{
+			Sink:             sink,
+			Workers:          2,
+			Timeout:          5 * time.Second,
+			MaxRetries:       3,
+			Backoff:          250 * time.Millisecond,
+			BreakerThreshold: 5,
+			BreakerCooldown:  30 * time.Second,
+			Seed:             s.cfg.AlertSeed,
+		})
+	}
+	s.alerter = fleetops.NewAlerter(s.bus, s.deliverer)
+	var storage fleetops.Storage
+	if s.store != nil {
+		storage = s.store
+	}
+	s.sched = fleetops.NewScheduler(fleetops.Config{
+		Builder:            s.cfg.FleetBuilder,
+		Storage:            storage,
+		Bus:                s.bus,
+		Alerter:            s.alerter,
+		DefaultInterval:    s.cfg.FleetTick,
+		MaxFailures:        s.cfg.FleetMaxFailures,
+		QuarantineCooldown: s.cfg.FleetQuarantine,
+		TickTimeout:        s.cfg.FleetTickTimeout,
+		RetryBackoff:       s.cfg.FleetRetryBackoff,
+		Workers:            s.cfg.Workers,
+	})
+}
+
+// recoverFleets re-registers every fleet sidecar found on disk, so a
+// restarted server resumes each scheduled population from its last
+// checkpointed epoch.
+func (s *Server) recoverFleets() {
+	if s.store == nil {
+		return
+	}
+	for _, rec := range s.store.Fleets() {
+		var reg fleetops.Registration
+		if err := json.Unmarshal(rec.Data, &reg); err != nil {
+			log.Printf("service: skipping fleet sidecar %s with unreadable registration: %v", rec.Name, err)
+			continue
+		}
+		if _, err := s.sched.Register(reg); err != nil {
+			log.Printf("service: re-registering fleet %s: %v", rec.Name, err)
+			continue
+		}
+		s.mu.Lock()
+		s.fleetBoot++
+		s.mu.Unlock()
+		log.Printf("service: resumed fleet %s from its sidecar", rec.Name)
+	}
 }
 
 // registryRunner is the default Runner: the experiments registry, with
@@ -232,7 +349,7 @@ func (s *Server) recoverInterrupted() {
 		if client == "" {
 			client = "recovery"
 		}
-		job, err := s.submit(client, rec.Experiment, o)
+		job, err := s.submit(client, rec.Experiment, o, "")
 		if err != nil {
 			log.Printf("service: resubmitting interrupted job %s: %v", rec.Key, err)
 			continue
@@ -256,23 +373,30 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 func (s *Server) Store() *store.Store { return s.store }
 
 // Close shuts down gracefully: new submissions fail with a
-// shutting-down error, in-flight job contexts are cancelled (the
-// checkpointed lifetime driver persists its state before returning,
-// bounded by DrainGrace), and queued jobs drain as fast failures.
-// Idempotent.
+// shutting-down error, the fleet scheduler checkpoints every
+// registered population (bounded by DrainGrace), in-flight job
+// contexts are cancelled (the checkpointed lifetime driver persists
+// its state before returning, also bounded by DrainGrace), queued jobs
+// drain as fast failures, and pending alerts flush through the
+// delivery pipeline. Idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
 		s.cancelCtx()
+		s.sched.Close(s.cfg.DrainGrace)
 		s.pool.close()
+		if s.deliverer != nil {
+			s.deliverer.Close()
+		}
 	})
 }
 
 // submit registers a job for (experiment, o) and routes it through the
 // cache: completed entries (in memory or on disk) finish the job
 // immediately, in-flight entries attach a waiter, and new keys enqueue
-// a leader on the fair pool under the submitting client.
-func (s *Server) submit(client, experiment string, o experiments.Options) (*Job, error) {
+// a leader on the fair pool under the submitting client. A non-empty
+// sweepID tags the job so its completion streams as a sweep point.
+func (s *Server) submit(client, experiment string, o experiments.Options, sweepID string) (*Job, error) {
 	spec, ok := experiments.Lookup(experiment)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (have %s)", experiment, experiments.IDList())
@@ -292,6 +416,7 @@ func (s *Server) submit(client, experiment string, o experiments.Options) (*Job,
 		Client:     client,
 		ResultKey:  key,
 		State:      StateQueued,
+		SweepID:    sweepID,
 	}
 	s.jobs[job.ID] = job
 	s.queued++
@@ -470,10 +595,11 @@ func (s *Server) runOnce(job *Job) ([]byte, error) {
 // finish moves a job to its terminal state and evicts the oldest
 // finished jobs beyond the retention bound. In-flight jobs are never
 // evicted: their population is bounded by the queue depth and the
-// attached waiters.
+// attached waiters. Jobs belonging to a sweep stream their terminal
+// snapshot as a "point" event, and the sweep's last point closes the
+// stream with a "done" event.
 func (s *Server) finish(job *Job, err error, cacheHit bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch job.State {
 	case StateQueued:
 		s.queued--
@@ -493,6 +619,33 @@ func (s *Server) finish(job *Job, err error, cacheHit bool) {
 	for len(s.terminal) > s.cfg.RetainJobs {
 		delete(s.jobs, s.terminal[0])
 		s.terminal = s.terminal[1:]
+	}
+	var point *Job
+	var doneTrack *sweepTrack
+	if job.SweepID != "" {
+		snap := *job
+		point = &snap
+		if tr := s.sweeps[job.SweepID]; tr != nil {
+			tr.completed++
+			if err != nil {
+				tr.failed++
+			}
+			if tr.completed >= tr.total {
+				doneTrack = tr
+				delete(s.sweeps, job.SweepID)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if point != nil && s.bus != nil {
+		s.bus.Publish(sweepTopic(point.SweepID), "point", point)
+		if doneTrack != nil {
+			s.bus.Publish(sweepTopic(point.SweepID), "done", map[string]any{
+				"sweep_id": point.SweepID,
+				"total":    doneTrack.total,
+				"failed":   doneTrack.failed,
+			})
+		}
 	}
 }
 
@@ -565,6 +718,20 @@ type Metrics struct {
 	Store   *store.Stats              `json:"store,omitempty"`
 	Queue   QueueStatus               `json:"queue"`
 	Workers int                       `json:"workers"`
+	Fleet   FleetMetrics              `json:"fleet"`
+}
+
+// FleetMetrics is the continuous-operations section of /metrics: the
+// scheduler's population states, the event bus, rule evaluation, and —
+// when a sink is configured — the delivery pipeline with its dead
+// letters.
+type FleetMetrics struct {
+	Scheduler   fleetops.Stats          `json:"scheduler"`
+	Quarantined []string                `json:"quarantined,omitempty"`
+	ResumedBoot uint64                  `json:"resumed_at_boot,omitempty"`
+	Bus         fleetops.BusStats       `json:"bus"`
+	Alerts      fleetops.AlertStats     `json:"alerts"`
+	Delivery    *fleetops.DeliveryStats `json:"delivery,omitempty"`
 }
 
 // QueueStatus describes queue pressure, shared by /metrics and /readyz.
@@ -622,26 +789,55 @@ func (s *Server) metrics() Metrics {
 	}
 	m.Queue = s.queueStatus()
 	m.Workers = s.cfg.Workers
+	m.Fleet.Scheduler = s.sched.Stats()
+	m.Fleet.Quarantined = s.sched.Quarantined()
+	m.Fleet.Bus = s.bus.Stats()
+	m.Fleet.Alerts = s.alerter.Stats()
+	s.mu.Lock()
+	m.Fleet.ResumedBoot = s.fleetBoot
+	s.mu.Unlock()
+	if s.deliverer != nil {
+		d := s.deliverer.Stats()
+		m.Fleet.Delivery = &d
+	}
 	return m
 }
 
 // Handler returns the HTTP API:
 //
-//	GET  /v1/experiments   list the experiment registry
-//	POST /v1/jobs          submit {"experiment": id, "options": {...}, "client": id}
-//	GET  /v1/jobs/{id}     poll a job
-//	GET  /v1/results/{key} fetch a completed result payload
-//	POST /v1/sweeps        fan a job out over an Options grid
-//	GET  /healthz          liveness
-//	GET  /readyz           readiness (degraded above the queue high-water mark)
-//	GET  /metrics          job, client, cache and store counters
+//	GET  /v1/experiments            list the experiment registry
+//	POST /v1/jobs                   submit {"experiment": id, "options": {...}, "client": id}
+//	GET  /v1/jobs                   list jobs, filterable by ?state= &client= &experiment=
+//	GET  /v1/jobs/{id}              poll a job
+//	GET  /v1/results/{key}          fetch a completed result payload
+//	POST /v1/sweeps                 fan a job out over an Options grid
+//	GET  /v1/sweeps/{id}/events     stream sweep points as SSE
+//	GET  /v1/sweeps/{id}/events.ndjson  same stream as NDJSON
+//	POST /v1/fleets                 register a continuously-aged population
+//	GET  /v1/fleets                 list registered populations
+//	GET  /v1/fleets/{name}          one population's status
+//	DELETE /v1/fleets/{name}        deregister a population
+//	GET  /v1/fleets/{name}/events   stream epoch/state/alert events as SSE
+//	GET  /v1/fleets/{name}/events.ndjson  same stream as NDJSON
+//	GET  /healthz                   liveness
+//	GET  /readyz                    readiness (degraded above the queue high-water mark)
+//	GET  /metrics                   job, client, cache, store and fleet counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events.ndjson", s.handleSweepEventsNDJSON)
+	mux.HandleFunc("POST /v1/fleets", s.handleFleetRegister)
+	mux.HandleFunc("GET /v1/fleets", s.handleFleetList)
+	mux.HandleFunc("GET /v1/fleets/{name}", s.handleFleetGet)
+	mux.HandleFunc("DELETE /v1/fleets/{name}", s.handleFleetDelete)
+	mux.HandleFunc("GET /v1/fleets/{name}/events", s.handleFleetEvents)
+	mux.HandleFunc("GET /v1/fleets/{name}/events.ndjson", s.handleFleetEventsNDJSON)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -658,6 +854,10 @@ type readiness struct {
 	Status        string      `json:"status"`
 	Queue         QueueStatus `json:"queue"`
 	RejectionRate float64     `json:"rejection_rate"`
+	// Fleets summarizes the scheduled populations; quarantined fleets
+	// are named so an operator sees them without walking /v1/fleets.
+	Fleets            fleetops.Stats `json:"fleets"`
+	QuarantinedFleets []string       `json:"quarantined_fleets,omitempty"`
 }
 
 // handleReady reports readiness: 200 "ready" normally, 503 "degraded"
@@ -675,7 +875,8 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if total := accepted + refused; total > 0 {
 		rate = float64(refused) / float64(total)
 	}
-	body := readiness{Status: "ready", Queue: q, RejectionRate: rate}
+	body := readiness{Status: "ready", Queue: q, RejectionRate: rate,
+		Fleets: s.sched.Stats(), QuarantinedFleets: s.sched.Quarantined()}
 	code := http.StatusOK
 	switch {
 	case s.closed.Load():
@@ -738,9 +939,16 @@ func clientID(r *http.Request, field string) string {
 }
 
 // setRetryAfter attaches the backpressure hint rejected submissions
-// retry against.
+// retry against, clamped to a minimum of one second: a sub-second EWMA
+// estimate would otherwise serialize as "Retry-After: 0", which
+// well-behaved clients treat as "retry immediately" — the opposite of
+// backpressure during a shed storm.
 func setRetryAfter(w http.ResponseWriter, d time.Duration) {
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d)))
+	secs := retryAfterSeconds(d)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -762,7 +970,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("service overloaded (queue %d/%d); retry later", depth, s.cfg.QueueDepth))
 		return
 	}
-	job, err := s.submit(client, req.Experiment, req.Options)
+	job, err := s.submit(client, req.Experiment, req.Options, "")
 	switch {
 	case errors.Is(err, errQueueFull) || errors.Is(err, errShuttingDown):
 		setRetryAfter(w, s.backoff.retryAfter(s.pool.queueDepth(), s.cfg.Workers))
@@ -783,6 +991,70 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.snapshot(job))
+}
+
+// maxJobListing bounds one GET /v1/jobs response.
+const maxJobListing = 1000
+
+// handleJobs lists retained jobs, filterable by ?state=, ?client= and
+// ?experiment=, newest first — the incident view: "what is queued,
+// running or failed right now, and whose is it". The response reports
+// the total match count alongside the (possibly truncated) page.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("state")
+	if state != "" {
+		switch JobState(state) {
+		case StateQueued, StateRunning, StateDone, StateFailed:
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown state %q (want queued, running, done or failed)", state))
+			return
+		}
+	}
+	client := r.URL.Query().Get("client")
+	experiment := r.URL.Query().Get("experiment")
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	if limit > maxJobListing {
+		limit = maxJobListing
+	}
+	s.mu.Lock()
+	matched := make([]Job, 0, 64)
+	for _, job := range s.jobs {
+		if state != "" && job.State != JobState(state) {
+			continue
+		}
+		if client != "" && job.Client != client {
+			continue
+		}
+		if experiment != "" && job.Experiment != experiment {
+			continue
+		}
+		matched = append(matched, *job)
+	}
+	s.mu.Unlock()
+	// Job ids are "job-<n>" with n monotonic; newest first.
+	sort.Slice(matched, func(i, j int) bool {
+		return jobSeq(matched[i].ID) > jobSeq(matched[j].ID)
+	})
+	total := len(matched)
+	if len(matched) > limit {
+		matched = matched[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": matched, "total": total})
+}
+
+// jobSeq extracts the monotonic sequence number from a "job-<n>" id.
+func jobSeq(id string) uint64 {
+	n, _ := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64)
+	return n
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -897,6 +1169,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("service overloaded (queue %d/%d); retry later", depth, s.cfg.QueueDepth))
 		return
 	}
+	// Allocate the sweep stream before any point runs: cache-hit points
+	// complete synchronously inside submit, and their "point" events
+	// must land in the topic's history ring for late subscribers.
+	s.mu.Lock()
+	s.sweepSeq++
+	sweepID := fmt.Sprintf("sweep-%d", s.sweepSeq)
+	s.sweeps[sweepID] = &sweepTrack{total: n}
+	s.mu.Unlock()
+	s.bus.Touch(sweepTopic(sweepID))
 	var jobs []Job
 	for _, exp := range req.Experiments {
 		for _, length := range req.TraceLengths {
@@ -907,7 +1188,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 							job, err := s.submit(client, exp, experiments.Options{
 								TraceLength: length, TraceStride: stride,
 								Population: pop, VariationSigma: sigma, Years: yrs,
-							})
+							}, sweepID)
 							if errors.Is(err, errQueueFull) || errors.Is(err, errShuttingDown) {
 								// Report the failed point; the rest of
 								// the grid still enqueues.
@@ -925,7 +1206,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusAccepted, map[string][]Job{"jobs": jobs})
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"sweep_id": sweepID,
+		"events":   "/v1/sweeps/" + sweepID + "/events",
+		"jobs":     jobs,
+	})
 }
 
 // decodeStrict parses a JSON body, rejecting unknown fields and

@@ -24,12 +24,13 @@ import (
 // layout below changes shape.
 const resultMagic = "penelope-store-v1\n"
 
-// resultExt, jobExt and ckptExt are the file extensions of the three
-// artifact kinds the store manages.
+// resultExt, jobExt, ckptExt and fleetExt are the file extensions of
+// the artifact kinds the store manages.
 const (
 	resultExt = ".res"
 	jobExt    = ".job"
 	ckptExt   = ".ckpt"
+	fleetExt  = ".fleet"
 )
 
 // Stats are the store counters surfaced through /metrics.
@@ -47,6 +48,8 @@ type Stats struct {
 	Quarantined int `json:"quarantined"`
 	// Checkpoints is the number of resumable job records on disk.
 	Checkpoints int `json:"checkpoints"`
+	// Fleets is the number of persisted fleet registrations on disk.
+	Fleets int `json:"fleets"`
 }
 
 // JobRecord is the sidecar written next to a resumable job's checkpoint
@@ -65,6 +68,8 @@ type JobRecord struct {
 //	<dir>/results/<key>.res      checksum-framed result payloads
 //	<dir>/checkpoints/<key>.ckpt fleet checkpoints of in-flight jobs
 //	<dir>/checkpoints/<key>.job  resumable job records
+//	<dir>/fleets/<name>.fleet    scheduled fleet registrations
+//	<dir>/fleets/<name>.ckpt     scheduled fleet engine checkpoints
 //
 // The in-memory index is rebuilt by scanning (and verifying) the
 // results directory on Open, so the directory itself is the source of
@@ -73,6 +78,7 @@ type Store struct {
 	dir      string
 	results  string
 	ckpts    string
+	fleets   string
 	mu       sync.Mutex
 	sizes    map[string]int64
 	bytes    int64
@@ -93,9 +99,10 @@ func Open(dir string) (*Store, error) {
 		dir:     dir,
 		results: filepath.Join(dir, "results"),
 		ckpts:   filepath.Join(dir, "checkpoints"),
+		fleets:  filepath.Join(dir, "fleets"),
 		sizes:   make(map[string]int64),
 	}
-	for _, d := range []string{s.results, s.ckpts} {
+	for _, d := range []string{s.results, s.ckpts, s.fleets} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: creating %s: %w", d, err)
 		}
@@ -303,9 +310,129 @@ func (s *Store) RemoveJob(key string) {
 	os.Remove(filepath.Join(s.ckpts, key+ckptExt+".tmp"))
 }
 
+// ValidFleetName reports whether name is safe to use as a fleet
+// sidecar filename: short lowercase alphanumerics with interior dashes,
+// so a registration can never traverse out of the fleets directory or
+// collide with the store's own temp/quarantine names.
+func ValidFleetName(name string) bool {
+	if len(name) < 1 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+			(c == '-' && i > 0 && i < len(name)-1)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FleetRecord is one persisted fleet registration: the scheduler's
+// serialized Registration, opaque to the store.
+type FleetRecord struct {
+	Name string
+	Data []byte
+}
+
+// PutFleet durably persists a fleet registration sidecar, so a restart
+// re-registers every scheduled population.
+func (s *Store) PutFleet(name string, data []byte) error {
+	if !ValidFleetName(name) {
+		return fmt.Errorf("store: invalid fleet name %q", name)
+	}
+	path := filepath.Join(s.fleets, name+fleetExt)
+	if err := atomicWrite(path, data); err != nil {
+		return fmt.Errorf("store: writing fleet %s: %w", name, err)
+	}
+	return nil
+}
+
+// Fleets returns every persisted fleet registration. Unreadable
+// sidecars are quarantined and skipped, so one corrupt registration
+// never blocks boot recovery of the others.
+func (s *Store) Fleets() []FleetRecord {
+	entries, err := os.ReadDir(s.fleets)
+	if err != nil {
+		return nil
+	}
+	var recs []FleetRecord
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, fleetExt) {
+			continue
+		}
+		path := filepath.Join(s.fleets, name)
+		base := strings.TrimSuffix(name, fleetExt)
+		data, err := os.ReadFile(path)
+		if err == nil && !ValidFleetName(base) {
+			err = fmt.Errorf("store: invalid fleet sidecar name %q", base)
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.quarantineLocked(path, err)
+			s.mu.Unlock()
+			continue
+		}
+		recs = append(recs, FleetRecord{Name: base, Data: data})
+	}
+	return recs
+}
+
+// RemoveFleet deletes a fleet's registration and checkpoint sidecars.
+func (s *Store) RemoveFleet(name string) {
+	if !ValidFleetName(name) {
+		return
+	}
+	os.Remove(filepath.Join(s.fleets, name+fleetExt))
+	os.Remove(filepath.Join(s.fleets, name+ckptExt))
+	os.Remove(filepath.Join(s.fleets, ".tmp-"+name+ckptExt))
+}
+
+// FleetCheckpointPath returns where a scheduled fleet's engine
+// checkpoint lives. Writes go through WriteFleetCheckpoint; the path is
+// exposed for reads and tests.
+func (s *Store) FleetCheckpointPath(name string) string {
+	return filepath.Join(s.fleets, name+ckptExt)
+}
+
+// WriteFleetCheckpoint atomically replaces a scheduled fleet's engine
+// checkpoint.
+func (s *Store) WriteFleetCheckpoint(name string, data []byte) error {
+	if !ValidFleetName(name) {
+		return fmt.Errorf("store: invalid fleet name %q", name)
+	}
+	if err := atomicWrite(s.FleetCheckpointPath(name), data); err != nil {
+		return fmt.Errorf("store: writing fleet checkpoint %s: %w", name, err)
+	}
+	return nil
+}
+
+// ReadFleetCheckpoint returns a scheduled fleet's engine checkpoint, or
+// false if none has been written.
+func (s *Store) ReadFleetCheckpoint(name string) ([]byte, bool) {
+	if !ValidFleetName(name) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.FleetCheckpointPath(name))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
+	fleetCount := 0
+	if entries, err := os.ReadDir(s.fleets); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), fleetExt) {
+				fleetCount++
+			}
+		}
+	}
 	defer s.mu.Unlock()
 	return Stats{
 		Entries:     len(s.sizes),
@@ -314,6 +441,7 @@ func (s *Store) Stats() Stats {
 		Misses:      s.misses,
 		Quarantined: s.quarant,
 		Checkpoints: s.jobFiles,
+		Fleets:      fleetCount,
 	}
 }
 

@@ -9,9 +9,11 @@
 # (BenchmarkTraceRecord one-time synthesis+pack uops/s,
 # BenchmarkCursorReplay zero-alloc replay uops/s), the bit-parallel
 # circuit stack (BenchmarkAdderEvalBatch adds/s, BenchmarkStressApplyVec
-# lane-applies/s) and the fleet lifetime engine (BenchmarkFleetEpoch
+# lane-applies/s), the fleet lifetime engine (BenchmarkFleetEpoch
 # chip-epochs/s over a 100k-chip fleet, BenchmarkLifetimeTrajectory full
-# 7-year runs).
+# 7-year runs) and the continuous-operations event bus
+# (BenchmarkBusPublish events/s fanned out to saturated subscribers,
+# i.e. the worst-case drop-and-count path of the streaming tier).
 #
 # Usage: scripts/bench.sh [extra go test args...]
 #   e.g. scripts/bench.sh -benchtime 2s -count 3
