@@ -260,20 +260,20 @@ func NewDeliverer(cfg DelivererConfig) *Deliverer {
 // Enqueue hands an alert to the pipeline without blocking: a full queue
 // or closed deliverer drops it (counted).
 func (d *Deliverer) Enqueue(a Alert) bool {
+	// The non-blocking send happens under the same lock Close holds
+	// while marking the pipeline closed, so a late Enqueue racing Close
+	// can never send on the already-closed channel.
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
-		d.mu.Unlock()
 		return false
 	}
 	d.enqueued++
-	d.mu.Unlock()
 	select {
 	case d.queue <- a:
 		return true
 	default:
-		d.mu.Lock()
 		d.dropped++
-		d.mu.Unlock()
 		return false
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -183,6 +184,40 @@ func TestDelivererQueueFullDrops(t *testing.T) {
 	}
 	if d.Enqueue(mkAlert(99)) {
 		t.Fatal("Enqueue after Close accepted")
+	}
+}
+
+// TestDelivererEnqueueCloseRace hammers Enqueue from several
+// goroutines while Close runs: a late Enqueue must return false, never
+// send on the closed queue and panic. Run with -race.
+func TestDelivererEnqueueCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		sink := &FaultSink{Seed: 1}
+		d := NewDeliverer(DelivererConfig{
+			Sink: sink, Workers: 2, Backoff: time.Microsecond, Timeout: time.Second,
+		})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					d.Enqueue(mkAlert(g*1000 + i))
+				}
+			}(g)
+		}
+		close(start)
+		d.Close()
+		wg.Wait()
+		st := d.Stats()
+		if st.Delivered != uint64(len(sink.Delivered())) {
+			t.Fatalf("round %d: delivered counter %d != sink %d", round, st.Delivered, len(sink.Delivered()))
+		}
+		if d.Enqueue(mkAlert(0)) {
+			t.Fatal("Enqueue after Close succeeded")
+		}
 	}
 }
 

@@ -147,14 +147,34 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 // Subscribe registers a listener on a topic. Events already in the
 // history ring with Seq > after are replayed into the channel first
 // (the channel is sized to hold them plus buf live events), so a
-// resuming client sees no gap between replay and live delivery.
+// resuming client sees no gap between replay and live delivery. The
+// topic is created if it does not exist.
 func (b *Bus) Subscribe(topicName string, after uint64, buf int) *Subscription {
+	sub, _ := b.subscribe(topicName, after, buf, true)
+	return sub
+}
+
+// SubscribeExisting is Subscribe without topic creation: it returns
+// ok=false when the topic does not exist, instead of resurrecting a
+// ghost topic. Streaming handlers use it so an existence check followed
+// by a subscribe cannot race a concurrent Drop.
+func (b *Bus) SubscribeExisting(topicName string, after uint64, buf int) (*Subscription, bool) {
+	return b.subscribe(topicName, after, buf, false)
+}
+
+func (b *Bus) subscribe(topicName string, after uint64, buf int, create bool) (*Subscription, bool) {
 	if buf <= 0 {
 		buf = 64
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	t := b.topicLocked(topicName)
+	t := b.topics[topicName]
+	if t == nil {
+		if !create {
+			return nil, false
+		}
+		t = b.topicLocked(topicName)
+	}
 	var replay []Event
 	for i := 0; i < len(t.ring); i++ {
 		ev := t.ring[(t.head+i)%len(t.ring)]
@@ -167,7 +187,7 @@ func (b *Bus) Subscribe(topicName string, after uint64, buf int) *Subscription {
 		sub.ch <- ev
 	}
 	t.subs[sub] = struct{}{}
-	return sub
+	return sub, true
 }
 
 // Close detaches the subscription and closes its channel. Safe to call

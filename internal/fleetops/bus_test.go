@@ -113,6 +113,32 @@ func TestBusDropClosesSubscribers(t *testing.T) {
 	b.Drop("t") // dropping a missing topic is a no-op
 }
 
+// TestBusSubscribeExisting checks the no-create subscribe variant:
+// it refuses a missing (or dropped) topic instead of resurrecting a
+// ghost, and still replays history on a live one.
+func TestBusSubscribeExisting(t *testing.T) {
+	b := NewBus(0)
+	if _, ok := b.SubscribeExisting("t", 0, 4); ok {
+		t.Fatal("SubscribeExisting created a missing topic")
+	}
+	if b.HasTopic("t") {
+		t.Fatal("failed SubscribeExisting left a topic behind")
+	}
+	b.Publish("t", "n", 1)
+	sub, ok := b.SubscribeExisting("t", 0, 4)
+	if !ok {
+		t.Fatal("SubscribeExisting refused an existing topic")
+	}
+	if ev := <-sub.C(); ev.Seq != 1 {
+		t.Fatalf("replayed seq = %d, want 1", ev.Seq)
+	}
+	sub.Close()
+	b.Drop("t")
+	if _, ok := b.SubscribeExisting("t", 0, 4); ok {
+		t.Fatal("SubscribeExisting attached to a dropped topic")
+	}
+}
+
 func TestBusPerTopicSequences(t *testing.T) {
 	b := NewBus(0)
 	b.Publish("a", "n", 1)

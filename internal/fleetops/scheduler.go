@@ -419,7 +419,14 @@ type tickResult struct {
 	rows     []lifetime.EpochStats
 	snapshot []byte
 	resumed  bool
-	err      error
+	// restoredStats is the last stats row already inside a restored
+	// checkpoint, captured before the tick advances it. It re-seeds the
+	// duty-deviation detector's previous-epoch baseline after a process
+	// restart (p.lastStats lives only in memory); without it the first
+	// resumed tick would invert 0 → accumulated-shift as one epoch step
+	// and fire a false wearout-attack alert.
+	restoredStats *lifetime.EpochStats
+	err           error
 }
 
 // tick runs one tick under the watchdog: the tick body runs in its own
@@ -470,6 +477,7 @@ func (s *Scheduler) runTick(ctx context.Context, p *population) tickResult {
 	s.mu.Unlock()
 
 	resumed := false
+	var restoredStats *lifetime.EpochStats
 	if eng == nil {
 		if snap == nil && s.cfg.Storage != nil {
 			if b, ok := s.cfg.Storage.ReadFleetCheckpoint(reg.Name); ok {
@@ -483,6 +491,9 @@ func (s *Scheduler) runTick(ctx context.Context, p *population) tickResult {
 			}
 			eng = restored
 			resumed = true
+			if row, ok := restored.LastStats(); ok {
+				restoredStats = &row
+			}
 		} else {
 			cfg, err := s.cfg.Builder(reg)
 			if err != nil {
@@ -514,7 +525,7 @@ func (s *Scheduler) runTick(ctx context.Context, p *population) tickResult {
 	if err != nil {
 		return tickResult{err: fmt.Errorf("snapshotting engine: %w", err)}
 	}
-	return tickResult{eng: eng, rows: rows, snapshot: snapshot, resumed: resumed}
+	return tickResult{eng: eng, rows: rows, snapshot: snapshot, resumed: resumed, restoredStats: restoredStats}
 }
 
 // tickOK applies a successful tick: adopt the engine and snapshot,
@@ -524,6 +535,9 @@ func (s *Scheduler) runTick(ctx context.Context, p *population) tickResult {
 func (s *Scheduler) tickOK(p *population, res tickResult) {
 	s.mu.Lock()
 	var prevVTH []float64
+	if p.lastStats == nil {
+		p.lastStats = res.restoredStats
+	}
 	if p.lastStats != nil {
 		prevVTH = p.lastStats.MeanVTHShift
 	}

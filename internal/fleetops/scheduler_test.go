@@ -347,6 +347,49 @@ func TestSchedulerCloseIsIdempotentAndPersists(t *testing.T) {
 	}
 }
 
+// TestSchedulerResumeSeedsDetectorBaseline restarts a scheduler whose
+// population has the wearout-attack monitor armed. The first resumed
+// tick must seed the detector's previous-epoch baseline from the
+// restored checkpoint's last stats row (Engine.LastStats) — seeding
+// from zero would read the accumulated shift as one epoch at duty
+// ~1.0 and fire a false wearout-attack alert on every restart.
+func TestSchedulerResumeSeedsDetectorBaseline(t *testing.T) {
+	cfg := testConfig(0.5, 0, 0.08)
+	storage := newMemStorage()
+	sink := &FaultSink{Seed: 1}
+	reg := Registration{Name: "pop", EpochsPerTick: 1,
+		Alerts: AlertRules{DutyTolerance: DefaultDutyTolerance}}
+
+	run := func(minEpoch int) {
+		t.Helper()
+		d := NewDeliverer(DelivererConfig{
+			Sink: sink, Workers: 1, Backoff: time.Microsecond, Timeout: time.Second,
+		})
+		scCfg := fastCfg(cfg)
+		scCfg.Storage = storage
+		scCfg.Alerter = NewAlerter(nil, d)
+		sc := NewScheduler(scCfg)
+		if _, err := sc.Register(reg); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		if !waitFor(10*time.Second, func() bool {
+			st, ok := sc.Get("pop")
+			return ok && st.Epoch >= minEpoch
+		}) {
+			st, _ := sc.Get("pop")
+			t.Fatalf("population never reached epoch %d: %+v", minEpoch, st)
+		}
+		sc.Close(time.Second)
+		d.Close()
+	}
+
+	run(3) // accumulate shift under the clean declared workload
+	run(5) // restart: the resumed ticks must stay quiet too
+	if got := sink.Delivered(); len(got) != 0 {
+		t.Fatalf("clean resumed run fired alerts: %+v", got)
+	}
+}
+
 // TestSchedulerBuilderFailureQuarantines exercises the registration
 // whose engine cannot even be built: the failure lands in the tick
 // path, retries, and quarantines without wedging Register.

@@ -159,6 +159,17 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, topic stri
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
+	// Subscribe before committing the response: SubscribeExisting fails
+	// when a concurrent Deregister/expiry dropped the topic between the
+	// handler's HasTopic check and here, so the losing stream 404s
+	// instead of attaching to a resurrected ghost topic and idling
+	// forever.
+	sub, ok := s.bus.SubscribeExisting(topic, after, 64)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown stream topic %q", topic))
+		return
+	}
+	defer sub.Close()
 	if ndjson {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	} else {
@@ -169,8 +180,6 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, topic stri
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	sub := s.bus.Subscribe(topic, after, 64)
-	defer sub.Close()
 	heartbeat := time.NewTicker(streamHeartbeat)
 	defer heartbeat.Stop()
 	sent := 0

@@ -325,6 +325,36 @@ func TestSweepEventStream(t *testing.T) {
 	}
 }
 
+// TestSweepTopicExpiresAfterRetention checks a finished sweep's bus
+// topic is dropped once SweepRetention passes, so a long-lived server
+// does not accumulate one topic (and history ring) per sweep forever.
+func TestSweepTopicExpiresAfterRetention(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:        2,
+		SweepRetention: 30 * time.Millisecond,
+		Runner: func(_ context.Context, experiment string, o experiments.Options) (experiments.Result, error) {
+			return fakeResult{Name: experiment, N: o.TraceLength}, nil
+		},
+	})
+
+	var resp struct {
+		SweepID string `json:"sweep_id"`
+		Jobs    []Job  `json:"jobs"`
+	}
+	body := `{"experiments":["fig5"],"trace_lengths":[3000,4000],"trace_strides":[60]}`
+	if code := postJSON(t, ts.URL+"/v1/sweeps", body, &resp); code != http.StatusAccepted {
+		t.Fatalf("sweep: status %d", code)
+	}
+	for _, j := range resp.Jobs {
+		pollJob(t, ts.URL, j.ID)
+	}
+	waitFor(t, func() bool { return !s.bus.HasTopic(sweepTopic(resp.SweepID)) })
+	// The expired stream 404s like an unknown sweep instead of idling.
+	if code := getJSON(t, fmt.Sprintf("%s/v1/sweeps/%s/events.ndjson?max=1", ts.URL, resp.SweepID), nil); code != http.StatusNotFound {
+		t.Fatalf("expired sweep stream: status %d, want 404", code)
+	}
+}
+
 // TestJobsListing covers GET /v1/jobs: state/client filters, newest
 // first, totals, limits, and bad parameters.
 func TestJobsListing(t *testing.T) {

@@ -92,6 +92,12 @@ type Config struct {
 	// scheduler checkpoints every registered population within the same
 	// grace.
 	DrainGrace time.Duration
+	// SweepRetention keeps a finished sweep's event topic (and its
+	// resume ring) alive after the "done" event so late subscribers can
+	// still replay it; past that the topic is dropped so a long-lived
+	// server's bus does not grow one topic per sweep forever (default
+	// 5m).
+	SweepRetention time.Duration
 
 	// FleetTick is the default interval between scheduled fleet epoch
 	// ticks for registrations that do not set their own (default 30s).
@@ -219,6 +225,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 5 * time.Second
+	}
+	if cfg.SweepRetention <= 0 {
+		cfg.SweepRetention = 5 * time.Minute
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -645,6 +654,13 @@ func (s *Server) finish(job *Job, err error, cacheHit bool) {
 				"total":    doneTrack.total,
 				"failed":   doneTrack.failed,
 			})
+			// Expire the topic after a retention window: late
+			// subscribers can still replay the ring for a while, but a
+			// long-lived server does not accumulate one topic per
+			// finished sweep forever. Sweep ids are unique per process,
+			// so the delayed drop cannot hit a reused name.
+			topic := sweepTopic(point.SweepID)
+			time.AfterFunc(s.cfg.SweepRetention, func() { s.bus.Drop(topic) })
 		}
 	}
 }
@@ -1196,6 +1212,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 								continue
 							}
 							if err != nil {
+								// The sweep is dead: untrack it and drop
+								// its topic so the aborted grid does not
+								// leak a stream that never finishes.
+								s.mu.Lock()
+								delete(s.sweeps, sweepID)
+								s.mu.Unlock()
+								s.bus.Drop(sweepTopic(sweepID))
 								writeError(w, http.StatusBadRequest, err)
 								return
 							}
