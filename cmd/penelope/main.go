@@ -21,6 +21,10 @@
 // persists results to a content-addressed store and resumes
 // interrupted lifetime jobs after a restart; -rate/-burst enable
 // per-client rate limiting and -job-timeout bounds each attempt.
+// -store-budget and -store-retention bound the on-disk result cache
+// (LRU results are evicted first, then oversized cache writes shed;
+// checkpoints are never evicted) and -scrub-interval re-verifies stored
+// frames against their checksums in the background.
 // -fleet-config schedules continuously-aged populations at boot (they
 // also register over POST /v1/fleets and resume from -data-dir
 // sidecars); -fleet-tick paces their epochs and -alert-webhook receives
@@ -182,6 +186,10 @@ func serveCmd(args []string) {
 		burst      = fs.Int("burst", 0, "per-client rate-limit burst (default ceil(rate))")
 		jobTimeout = fs.Duration("job-timeout", 0, "per-job runner timeout (0 = unbounded)")
 
+		storeBudget    = fs.Int64("store-budget", 0, "disk budget in bytes for cached result payloads; past it LRU results are evicted and oversized cache writes shed (0 = unbounded; checkpoints are never evicted)")
+		storeRetention = fs.Duration("store-retention", 0, "evict cached results unused for longer than this (0 = keep forever)")
+		scrubInterval  = fs.Duration("scrub-interval", time.Minute, "background re-verification interval for stored result checksums (0 = off)")
+
 		fleetConfig  = fs.String("fleet-config", "", "JSON file of fleet registrations to schedule at boot ({\"fleets\": [...]} or a bare array)")
 		fleetTick    = fs.Duration("fleet-tick", 0, "default interval between fleet epoch ticks (default 30s)")
 		alertWebhook = fs.String("alert-webhook", "", "POST fired fleet alerts to this URL (retries, circuit breaker, dead-letter queue)")
@@ -191,6 +199,7 @@ func serveCmd(args []string) {
 	srv, err := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		DataDir: *dataDir, Rate: *rate, Burst: *burst, JobTimeout: *jobTimeout,
+		StoreBudget: *storeBudget, StoreRetention: *storeRetention, ScrubInterval: *scrubInterval,
 		FleetTick: *fleetTick, AlertWebhook: *alertWebhook,
 	})
 	if err != nil {

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"penelope/internal/lifetime"
+	"penelope/internal/store/vfs"
+)
+
+// swapCheckpointFS installs fsys as the checkpoint writer's filesystem
+// for the duration of the test.
+func swapCheckpointFS(t *testing.T, fsys vfs.FS) {
+	t.Helper()
+	prev := checkpointFS
+	checkpointFS = fsys
+	t.Cleanup(func() { checkpointFS = prev })
+}
+
+// crashOptions is the smallest fleet that still crosses several
+// checkpoint intervals: a handful of epochs, checkpointed every other
+// one.
+func crashOptions() Options {
+	o := fleetOptions()
+	o.Years = 0.4
+	o.AttackYears = 0
+	o.Population = 200
+	return o
+}
+
+// TestCheckpointWriteDiscipline is the regression net for the
+// un-fsynced checkpoint writer: writeFleetPair must follow the full
+// temp-write/fsync/close/rename/dir-fsync discipline. The CLI once
+// wrote checkpoints with os.WriteFile + os.Rename and no sync at all —
+// a crash shortly after "checkpoint written" could take the file back.
+func TestCheckpointWriteDiscipline(t *testing.T) {
+	f := vfs.NewFaultFS(vfs.OS{})
+	swapCheckpointFS(t, f)
+	o := crashOptions().Normalized()
+	duties := o.fleetDuties()
+	engB, err := lifetime.New(o.fleetConfig(duties, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engP, err := lifetime.New(o.fleetConfig(duties, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.ckpt")
+	if err := writeFleetPair(path, engB, engP); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.VerifyDiscipline(f.Log()); err != nil {
+		t.Fatalf("checkpoint writer violates the durability discipline: %v", err)
+	}
+}
+
+// TestLifetimeCheckpointCrashMatrix crashes a checkpointed lifetime run
+// at every I/O step of every checkpoint write (with torn-write
+// variants), then resumes from whatever the crash left on disk. The
+// invariant is the paper-grade one: the resumed run's payload is
+// byte-identical to an uninterrupted run — a crash can cost recomputed
+// epochs, never correctness.
+func TestLifetimeCheckpointCrashMatrix(t *testing.T) {
+	o := crashOptions()
+	want := marshalLifetime(t, Lifetime(o), o)
+
+	// Rehearsal: run fault-free through the injector to enumerate the
+	// checkpoint writer's I/O steps.
+	r := vfs.NewFaultFS(vfs.OS{})
+	swapCheckpointFS(t, r)
+	rdir := t.TempDir()
+	if _, err := LifetimeCheckpointed(o, filepath.Join(rdir, "fleet.ckpt"), 2); err != nil {
+		t.Fatalf("rehearsal run failed: %v", err)
+	}
+	steps := r.Steps()
+	if steps < 12 {
+		t.Fatalf("rehearsal saw only %d I/O steps; expected several checkpoint writes", steps)
+	}
+	if err := vfs.VerifyDiscipline(r.Log()); err != nil {
+		t.Fatalf("write discipline: %v", err)
+	}
+	writes := map[int]int{}
+	for _, rec := range r.Log() {
+		if rec.Op == vfs.OpWrite {
+			writes[rec.Step] = rec.N
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		arms := []func(f *vfs.FaultFS){func(f *vfs.FaultFS) { f.CrashAt(step) }}
+		if n := writes[step]; n > 1 {
+			arms = append(arms, func(f *vfs.FaultFS) { f.CrashAtWrite(step, n/2) })
+		}
+		for vi, arm := range arms {
+			label := fmt.Sprintf("step %d variant %d", step, vi)
+			path := filepath.Join(t.TempDir(), "fleet.ckpt")
+			f := vfs.NewFaultFS(vfs.OS{})
+			arm(f)
+			checkpointFS = f
+			res, err := LifetimeCheckpointed(o, path, 2)
+			if err == nil {
+				// Only a crash at the very last directory sync lets the
+				// run finish; the answer must already be right.
+				if got := marshalLifetime(t, res, o); !bytes.Equal(got, want) {
+					t.Fatalf("%s: completed run diverged", label)
+				}
+			}
+			if !f.Crashed() {
+				t.Fatalf("%s: crash step never executed", label)
+			}
+
+			// Reboot: plain filesystem, resume from whatever survived.
+			checkpointFS = vfs.OS{}
+			if data, err := os.ReadFile(path); err == nil {
+				// Whatever is under the final name must be a complete,
+				// readable checkpoint — never a torn prefix.
+				if !bytes.HasPrefix(data, []byte(fleetPairMagic)) {
+					t.Fatalf("%s: torn checkpoint under the final name", label)
+				}
+			}
+			res, err = LifetimeCheckpointed(o, path, 2)
+			if err != nil {
+				t.Fatalf("%s: resume failed: %v", label, err)
+			}
+			if got := marshalLifetime(t, res, o); !bytes.Equal(got, want) {
+				t.Fatalf("%s: resumed payload not byte-identical to uninterrupted run", label)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"penelope/internal/nbti"
 	"penelope/internal/pipeline"
 	"penelope/internal/sched"
+	"penelope/internal/store/vfs"
 	"penelope/internal/trace"
 )
 
@@ -348,7 +349,14 @@ func runLifetime(ctx context.Context, o Options, ckpt string, every int) (Lifeti
 // length-prefixed engine checkpoints, baseline then Penelope.
 const fleetPairMagic = "penelope-fleet-pair-v1\n"
 
-// writeFleetPair atomically replaces path with the pair's state.
+// checkpointFS is the filesystem the checkpoint writer runs on; tests
+// swap in a vfs.FaultFS to crash it at any I/O step.
+var checkpointFS vfs.FS = vfs.OS{}
+
+// writeFleetPair atomically replaces path with the pair's state under
+// the full durability discipline (temp file, fsync, rename, directory
+// fsync) — a checkpoint that survives the write returning is one a
+// power loss cannot take back.
 func writeFleetPair(path string, engB, engP *lifetime.Engine) error {
 	var buf bytes.Buffer
 	buf.WriteString(fleetPairMagic)
@@ -360,11 +368,8 @@ func writeFleetPair(path string, engB, engP *lifetime.Engine) error {
 		binary.Write(&buf, binary.LittleEndian, uint64(one.Len()))
 		buf.Write(one.Bytes())
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	_, err := vfs.WriteAtomic(checkpointFS, path, buf.Bytes())
+	return err
 }
 
 // readFleetPair loads a pair checkpoint if path exists, verifying the
@@ -372,7 +377,7 @@ func writeFleetPair(path string, engB, engP *lifetime.Engine) error {
 // nil engines (fresh start); a mismatched file is an error, so a stale
 // checkpoint never silently answers for different options.
 func readFleetPair(path string, cfgB, cfgP lifetime.Config) (*lifetime.Engine, *lifetime.Engine, error) {
-	data, err := os.ReadFile(path)
+	data, err := checkpointFS.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil, nil
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -126,6 +127,11 @@ type Stats struct {
 	TickFailures     uint64 `json:"tick_failures"`
 	WatchdogTimeouts uint64 `json:"watchdog_timeouts"`
 	Quarantines      uint64 `json:"quarantines"`
+	// CheckpointFailures counts fleet checkpoint writes the storage
+	// refused or failed. The fleet keeps aging in memory — the failure
+	// only widens how far a restart would rewind it, which is exactly
+	// why it must be visible rather than swallowed.
+	CheckpointFailures uint64 `json:"checkpoint_failures"`
 }
 
 // Scheduler keeps registered populations aging. Each population runs
@@ -137,9 +143,10 @@ type Scheduler struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	pops   map[string]*population
-	closed bool
+	mu       sync.Mutex
+	pops     map[string]*population
+	closed   bool
+	ckptFail uint64 // fleet checkpoint writes refused or failed
 }
 
 // NewScheduler builds a scheduler; populations are added with Register.
@@ -301,6 +308,7 @@ func (s *Scheduler) Stats() Stats {
 		st.WatchdogTimeouts += p.watchdogTimeouts
 		st.Quarantines += p.quarantines
 	}
+	st.CheckpointFailures = s.ckptFail
 	return st
 }
 
@@ -567,7 +575,9 @@ func (s *Scheduler) tickOK(p *population, res tickResult) {
 	s.mu.Unlock()
 
 	if s.cfg.Storage != nil {
-		s.cfg.Storage.WriteFleetCheckpoint(reg.Name, res.snapshot)
+		if err := s.cfg.Storage.WriteFleetCheckpoint(reg.Name, res.snapshot); err != nil {
+			s.noteCheckpointFailure(reg.Name, err)
+		}
 	}
 	if s.cfg.Bus != nil {
 		if wasQuarantined {
@@ -678,6 +688,21 @@ func (s *Scheduler) Close(grace time.Duration) {
 	}
 	s.mu.Unlock()
 	for _, pn := range out {
-		s.cfg.Storage.WriteFleetCheckpoint(pn.name, pn.snap)
+		if err := s.cfg.Storage.WriteFleetCheckpoint(pn.name, pn.snap); err != nil {
+			s.noteCheckpointFailure(pn.name, err)
+		}
+	}
+}
+
+// noteCheckpointFailure counts and logs a failed fleet checkpoint
+// write: the population keeps aging in memory, but a restart would
+// rewind it to the last checkpoint that did land.
+func (s *Scheduler) noteCheckpointFailure(name string, err error) {
+	s.mu.Lock()
+	s.ckptFail++
+	first := s.ckptFail == 1
+	s.mu.Unlock()
+	if first {
+		log.Printf("fleetops: checkpoint write for %s failed: %v (counted; logged once)", name, err)
 	}
 }

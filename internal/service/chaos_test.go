@@ -454,7 +454,7 @@ func chaosFleetConfig() lifetime.Config {
 		// ~73 epochs: long enough that the SIGTERM below always lands
 		// mid-run, short enough that the resumed run finishes in well
 		// under a second of 1ms ticks.
-		Phases: []lifetime.Phase{{Name: "service", Years: 6.0, Duty: []float64{0.55, 0.35}}},
+		Phases:     []lifetime.Phase{{Name: "service", Years: 6.0, Duty: []float64{0.55, 0.35}}},
 		Population: 512,
 		EpochYears: 30.0 / 365.25,
 		Seed:       11,

@@ -66,6 +66,19 @@ type Config struct {
 	// Lifetime jobs checkpoint there and resume automatically at the
 	// next boot if interrupted. Empty keeps the server fully in-memory.
 	DataDir string
+	// StoreBudget bounds the disk store's result-cache payload bytes:
+	// past it the least-recently-used cached results are evicted, and a
+	// result write that still cannot fit is shed (the job itself
+	// succeeds; only its cache entry is lost). Checkpoints and fleet
+	// sidecars are never budget-evicted or refused. 0 is unbounded.
+	StoreBudget int64
+	// StoreRetention evicts cached results unused for longer than this,
+	// at boot and on every scrub pass. 0 keeps results forever.
+	StoreRetention time.Duration
+	// ScrubInterval is how often the store's background scrubber
+	// re-verifies every result frame against its checksum, quarantining
+	// bit rot. 0 disables the scrubber.
+	ScrubInterval time.Duration
 	// Rate is the per-client admission budget in submissions/second
 	// (sweeps charge one token per grid point). 0 disables rate
 	// limiting. Clients over budget get 429 + Retry-After.
@@ -243,12 +256,17 @@ func New(cfg Config) (*Server, error) {
 		sweeps:    make(map[string]*sweepTrack),
 	}
 	if cfg.DataDir != "" {
-		st, err := store.Open(cfg.DataDir)
+		st, err := store.OpenConfig(store.Config{
+			Dir:       cfg.DataDir,
+			Budget:    cfg.StoreBudget,
+			Retention: cfg.StoreRetention,
+		})
 		if err != nil {
 			cancel()
 			s.pool.close()
 			return nil, err
 		}
+		st.StartScrubber(cfg.ScrubInterval)
 		s.store = st
 	}
 	if s.cfg.Runner == nil {
@@ -396,6 +414,9 @@ func (s *Server) Close() {
 		s.pool.close()
 		if s.deliverer != nil {
 			s.deliverer.Close()
+		}
+		if s.store != nil {
+			s.store.Close()
 		}
 	})
 }
@@ -874,12 +895,17 @@ type readiness struct {
 	// are named so an operator sees them without walking /v1/fleets.
 	Fleets            fleetops.Stats `json:"fleets"`
 	QuarantinedFleets []string       `json:"quarantined_fleets,omitempty"`
+	// Store carries the disk-store counters when the store is shedding
+	// result writes (disk budget exhausted or write failures), so the
+	// degraded answer names its cause.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // handleReady reports readiness: 200 "ready" normally, 503 "degraded"
-// once the queue crosses its high-water mark (liveness stays green —
-// the process is healthy, it just should not receive new load), and
-// 503 "draining" during shutdown.
+// once the queue crosses its high-water mark or the disk store starts
+// shedding result writes (liveness stays green — the process is
+// healthy, it just should not receive new load), and 503 "draining"
+// during shutdown.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	q := s.queueStatus()
 	s.mu.Lock()
@@ -893,12 +919,17 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	body := readiness{Status: "ready", Queue: q, RejectionRate: rate,
 		Fleets: s.sched.Stats(), QuarantinedFleets: s.sched.Quarantined()}
+	storeDegraded := s.store != nil && s.store.Degraded()
+	if storeDegraded {
+		st := s.store.Stats()
+		body.Store = &st
+	}
 	code := http.StatusOK
 	switch {
 	case s.closed.Load():
 		body.Status = "draining"
 		code = http.StatusServiceUnavailable
-	case q.Degraded:
+	case q.Degraded, storeDegraded:
 		body.Status = "degraded"
 		code = http.StatusServiceUnavailable
 	}

@@ -1,0 +1,293 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"penelope/internal/store/vfs"
+)
+
+// crashScenario is one write path under crash-matrix test: setup
+// builds the pre-crash state through a healthy store, op is the write
+// the crash interrupts, and check asserts the scenario's all-or-nothing
+// invariant on the rebooted store.
+type crashScenario struct {
+	name  string
+	cfg   Config // Dir and FS are filled by the harness
+	setup func(t *testing.T, s *Store)
+	op    func(s *Store) error
+	check func(t *testing.T, s *Store)
+}
+
+// rebootInvariants are the matrix-wide guarantees, independent of the
+// scenario: boot succeeds, every indexed entry verifies (zero
+// un-quarantined corruption), nothing was quarantined (a crash between
+// syscalls must never produce a torn file under a final name), and no
+// temp litter survives the boot scan.
+func rebootInvariants(t *testing.T, s *Store, label string) {
+	t.Helper()
+	for _, key := range s.Keys() {
+		if _, ok := s.Get(key); !ok {
+			t.Errorf("%s: indexed key %s failed verification after reboot", label, key)
+		}
+	}
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Errorf("%s: reboot quarantined %d entries; crash must be all-or-nothing", label, st.Quarantined)
+	}
+	for _, sub := range []string{"results", "checkpoints", "fleets"} {
+		entries, err := os.ReadDir(filepath.Join(s.Dir(), sub))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".tmp-") {
+				t.Errorf("%s: temp litter %s/%s survived reboot", label, sub, e.Name())
+			}
+		}
+	}
+}
+
+// runCrashMatrix rehearses the scenario fault-free to count its I/O
+// steps and verify the write discipline, then replays it once per
+// step with a simulated crash there — plus a torn-write variant for
+// every write step — rebooting the store each time and asserting the
+// invariants.
+func runCrashMatrix(t *testing.T, sc crashScenario) {
+	build := func(t *testing.T, fsys vfs.FS) (Config, *Store) {
+		cfg := sc.cfg
+		cfg.Dir = t.TempDir()
+		plain := cfg
+		s, err := OpenConfig(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.setup != nil {
+			sc.setup(t, s)
+		}
+		cfg.FS = fsys
+		return cfg, nil
+	}
+
+	// Rehearsal: learn the op's step span and check fsync ordering.
+	f := vfs.NewFaultFS(vfs.OS{})
+	cfg, _ := build(t, f)
+	s, err := OpenConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := f.Steps()
+	if err := sc.op(s); err != nil {
+		t.Fatalf("%s: fault-free op failed: %v", sc.name, err)
+	}
+	total := f.Steps()
+	if total == base {
+		t.Fatalf("%s: op performed no I/O; nothing to crash", sc.name)
+	}
+	if err := vfs.VerifyDiscipline(f.Log()); err != nil {
+		t.Fatalf("%s: write discipline: %v", sc.name, err)
+	}
+	writes := map[int]int{} // step -> write size, for torn variants
+	for _, rec := range f.Log() {
+		if rec.Step >= base && rec.Op == vfs.OpWrite && rec.N > 1 {
+			writes[rec.Step] = rec.N
+		}
+	}
+
+	type variant struct {
+		label string
+		arm   func(f *vfs.FaultFS, step int)
+	}
+	for step := base; step < total; step++ {
+		variants := []variant{{"crash", func(f *vfs.FaultFS, s int) { f.CrashAt(s) }}}
+		if n := writes[step]; n > 1 {
+			variants = append(variants,
+				variant{"torn@1", func(f *vfs.FaultFS, s int) { f.CrashAtWrite(s, 1) }},
+				variant{fmt.Sprintf("torn@%d", n/2), func(f *vfs.FaultFS, s int) { f.CrashAtWrite(s, n/2) }})
+		}
+		for _, v := range variants {
+			label := fmt.Sprintf("%s/step-%d/%s", sc.name, step, v.label)
+			f := vfs.NewFaultFS(vfs.OS{})
+			cfg, _ := build(t, f)
+			s, err := OpenConfig(cfg)
+			if err != nil {
+				t.Fatalf("%s: open: %v", label, err)
+			}
+			v.arm(f, step)
+			sc.op(s) // crash makes it fail; the error itself is scenario-dependent
+			if !f.Crashed() {
+				t.Fatalf("%s: crash step never executed", label)
+			}
+			plain := cfg
+			plain.FS = nil
+			re, err := OpenConfig(plain)
+			if err != nil {
+				t.Fatalf("%s: reboot failed: %v", label, err)
+			}
+			rebootInvariants(t, re, label)
+			if sc.check != nil {
+				sc.check(t, re)
+			}
+		}
+	}
+}
+
+var (
+	crashOld = []byte(`{"v":"old","pad":"0123456789abcdef"}`)
+	crashNew = []byte(`{"v":"new","pad":"fedcba9876543210"}`)
+)
+
+func TestCrashMatrixResultPutFresh(t *testing.T) {
+	runCrashMatrix(t, crashScenario{
+		name: "result-put-fresh",
+		setup: func(t *testing.T, s *Store) {
+			if err := s.Put(key(0), crashOld); err != nil {
+				t.Fatal(err)
+			}
+		},
+		op: func(s *Store) error { return s.Put(key(1), crashNew) },
+		check: func(t *testing.T, s *Store) {
+			if got, ok := s.Get(key(0)); !ok || !bytes.Equal(got, crashOld) {
+				t.Errorf("bystander entry damaged: %q, %v", got, ok)
+			}
+			if got, ok := s.Get(key(1)); ok && !bytes.Equal(got, crashNew) {
+				t.Errorf("in-flight entry neither absent nor complete: %q", got)
+			}
+		},
+	})
+}
+
+func TestCrashMatrixResultOverwrite(t *testing.T) {
+	runCrashMatrix(t, crashScenario{
+		name: "result-overwrite",
+		setup: func(t *testing.T, s *Store) {
+			if err := s.Put(key(0), crashOld); err != nil {
+				t.Fatal(err)
+			}
+		},
+		op: func(s *Store) error { return s.Put(key(0), crashNew) },
+		check: func(t *testing.T, s *Store) {
+			got, ok := s.Get(key(0))
+			if !ok || (!bytes.Equal(got, crashOld) && !bytes.Equal(got, crashNew)) {
+				t.Errorf("overwritten entry = %q, %v; want exactly old or new bytes", got, ok)
+			}
+		},
+	})
+}
+
+func TestCrashMatrixJobRecord(t *testing.T) {
+	rec := JobRecord{Key: key(0), Experiment: "lifetime",
+		Options: []byte(`{"population":1000}`), Client: "crash"}
+	runCrashMatrix(t, crashScenario{
+		name: "job-record",
+		op:   func(s *Store) error { return s.PutJobRecord(rec) },
+		check: func(t *testing.T, s *Store) {
+			recs := s.JobRecords()
+			switch len(recs) {
+			case 0: // fully absent: the boot recovery simply re-runs nothing
+			case 1:
+				if recs[0].Key != rec.Key || recs[0].Experiment != rec.Experiment ||
+					!bytes.Equal(recs[0].Options, rec.Options) || recs[0].Client != rec.Client {
+					t.Errorf("job record partially present: %+v", recs[0])
+				}
+			default:
+				t.Errorf("job record duplicated: %+v", recs)
+			}
+		},
+	})
+}
+
+func TestCrashMatrixRemoveJob(t *testing.T) {
+	rec := JobRecord{Key: key(0), Experiment: "lifetime", Options: []byte(`{}`)}
+	runCrashMatrix(t, crashScenario{
+		name: "remove-job",
+		setup: func(t *testing.T, s *Store) {
+			if err := s.PutJobRecord(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.CheckpointPath(rec.Key), []byte("ckpt"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		op: func(s *Store) error { s.RemoveJob(rec.Key); return nil },
+		check: func(t *testing.T, s *Store) {
+			recs := s.JobRecords()
+			if len(recs) == 1 {
+				if recs[0].Key != rec.Key {
+					t.Errorf("surviving record mutated: %+v", recs[0])
+				}
+			} else if len(recs) != 0 {
+				t.Errorf("JobRecords = %+v", recs)
+			}
+		},
+	})
+}
+
+func TestCrashMatrixFleetSidecar(t *testing.T) {
+	runCrashMatrix(t, crashScenario{
+		name: "fleet-register",
+		op:   func(s *Store) error { return s.PutFleet("pop-a", crashNew) },
+		check: func(t *testing.T, s *Store) {
+			recs := s.Fleets()
+			if len(recs) == 1 && (recs[0].Name != "pop-a" || !bytes.Equal(recs[0].Data, crashNew)) {
+				t.Errorf("fleet sidecar partially present: %+v", recs[0])
+			}
+			if len(recs) > 1 {
+				t.Errorf("Fleets = %+v", recs)
+			}
+		},
+	})
+}
+
+func TestCrashMatrixFleetCheckpoint(t *testing.T) {
+	runCrashMatrix(t, crashScenario{
+		name: "fleet-checkpoint",
+		setup: func(t *testing.T, s *Store) {
+			if err := s.WriteFleetCheckpoint("pop-a", crashOld); err != nil {
+				t.Fatal(err)
+			}
+		},
+		op: func(s *Store) error { return s.WriteFleetCheckpoint("pop-a", crashNew) },
+		check: func(t *testing.T, s *Store) {
+			got, ok := s.ReadFleetCheckpoint("pop-a")
+			if !ok || (!bytes.Equal(got, crashOld) && !bytes.Equal(got, crashNew)) {
+				t.Errorf("fleet checkpoint = %q, %v; want exactly old or new bytes", got, ok)
+			}
+		},
+	})
+}
+
+func TestCrashMatrixEviction(t *testing.T) {
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 100)
+	}
+	budget := int64(350) // holds three 100-byte payloads, not four
+	runCrashMatrix(t, crashScenario{
+		name: "eviction",
+		cfg:  Config{Budget: budget},
+		setup: func(t *testing.T, s *Store) {
+			for i := 0; i < 3; i++ {
+				if err := s.Put(key(i), payload(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+		op: func(s *Store) error { return s.Put(key(3), payload(3)) },
+		check: func(t *testing.T, s *Store) {
+			// Boot re-enforces the budget, so even a crash mid-eviction
+			// cannot leave the store oversubscribed; whatever survived
+			// is complete.
+			if st := s.Stats(); st.Bytes > budget {
+				t.Errorf("rebooted store holds %d bytes over budget %d", st.Bytes, budget)
+			}
+			for i := 0; i < 4; i++ {
+				if got, ok := s.Get(key(i)); ok && !bytes.Equal(got, payload(i)) {
+					t.Errorf("entry %d present but wrong: %q", i, got)
+				}
+			}
+		},
+	})
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestScrubQuarantinesRot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenConfig(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(i), pad(i, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip one byte mid-frame: the boot scan already passed, only a
+	// scrub pass can notice.
+	path := filepath.Join(dir, "results", key(1)+".res")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := s.Scrub()
+	if rep.Checked != 2 || rep.Corrupt != 1 {
+		t.Fatalf("scrub report = %+v, want 2 checked 1 corrupt", rep)
+	}
+	if s.Has(key(1)) {
+		t.Error("rotten entry still indexed after scrub")
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Errorf("rotten frame not quarantined: %v", err)
+	}
+	for _, i := range []int{0, 2} {
+		if got, ok := s.Get(key(i)); !ok || !bytes.Equal(got, pad(i, 50)) {
+			t.Errorf("healthy entry %d damaged by scrub", i)
+		}
+	}
+	st := s.Stats()
+	if st.ScrubPasses != 1 || st.ScrubChecked != 2 || st.ScrubCorrupt != 1 {
+		t.Errorf("scrub stats = passes %d checked %d corrupt %d",
+			st.ScrubPasses, st.ScrubChecked, st.ScrubCorrupt)
+	}
+	if st.Quarantined != 1 {
+		t.Errorf("quarantined = %d", st.Quarantined)
+	}
+}
+
+func TestScrubReEnforcesBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenConfig(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(key(i), pad(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen over budget (as if the budget was lowered between runs):
+	// the scrub pass, like boot, sheds back under it.
+	re, err := OpenConfig(Config{Dir: dir, Budget: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.cfg.Budget = 250 // lower it mid-flight; only scrub re-checks
+	re.Scrub()
+	if st := re.Stats(); st.Bytes > 250 {
+		t.Errorf("scrub left %d resident bytes over the 250 budget", st.Bytes)
+	}
+}
+
+func TestBackgroundScrubberRunsAndStops(t *testing.T) {
+	s, err := OpenConfig(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(0), pad(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.StartScrubber(2 * time.Millisecond)
+	s.StartScrubber(2 * time.Millisecond) // second start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().ScrubPasses < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber never completed two passes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	s.Close() // idempotent
+	passes := s.Stats().ScrubPasses
+	time.Sleep(10 * time.Millisecond)
+	if got := s.Stats().ScrubPasses; got != passes {
+		t.Errorf("scrubber still running after Close: %d -> %d passes", passes, got)
+	}
+	// The store remains usable after Close.
+	if _, ok := s.Get(key(0)); !ok {
+		t.Error("store unusable after Close")
+	}
+}

@@ -2,22 +2,37 @@
 // experiment service: a content-addressed blob store for completed
 // result payloads plus the sidecar files (fleet checkpoints, resumable
 // job records) that let `penelope serve` survive a hard kill. Every
-// write is atomic — temp file, fsync, rename — and every stored payload
-// is framed with a checksum, so a torn write from a crash is detected
-// on the next boot, quarantined, and re-simulated instead of served.
+// write is atomic — temp file, fsync, rename, directory fsync — and
+// every stored payload is framed with a checksum, so a torn write from
+// a crash is detected on the next boot, quarantined, and re-simulated
+// instead of served.
+//
+// All I/O goes through an injectable filesystem (internal/store/vfs);
+// the crash-matrix suite reboots the store after a simulated crash at
+// every I/O step of every write path and asserts all-or-nothing
+// visibility. The result cache is the degradable class: an optional
+// disk budget LRU-evicts cached results (never checkpoints or fleet
+// sidecars), refusing new result writes — and reporting Degraded —
+// before any checkpoint write is ever shed, and a background scrubber
+// re-verifies frames on an interval, quarantining rot.
 package store
 
 import (
 	"bytes"
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
-	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"penelope/internal/store/vfs"
 )
 
 // resultMagic versions the on-disk result frame. Bump it whenever the
@@ -33,23 +48,61 @@ const (
 	fleetExt  = ".fleet"
 )
 
+// ErrBudget reports a result write refused because the store is at its
+// disk budget and eviction could not make room. Checkpoint and fleet
+// writes are never refused for budget reasons — results are shed
+// first, always.
+var ErrBudget = errors.New("store: result budget exhausted")
+
 // Stats are the store counters surfaced through /metrics.
 type Stats struct {
 	// Entries is the number of verified result payloads on disk.
 	Entries int `json:"entries"`
 	// Bytes is the total payload size held (frame overhead excluded).
 	Bytes int64 `json:"bytes"`
+	// BudgetBytes is the configured result-cache budget (0 = none).
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
 	// Hits counts Get calls served from disk; Misses counts Get calls
 	// for keys the store does not hold.
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	// Quarantined counts corrupt or truncated files set aside (renamed
-	// to *.quarantine) at boot or on read, instead of being served.
+	// to *.quarantine) at boot, on read, or by the scrubber, instead of
+	// being served.
 	Quarantined int `json:"quarantined"`
+	// QuarantineFailures counts quarantine renames that themselves
+	// failed: the corrupt file could not be set aside (it stays
+	// excluded from the index either way).
+	QuarantineFailures uint64 `json:"quarantine_failures"`
+	// DirsyncFailures counts atomic writes whose final directory sync
+	// failed: the rename landed, its durability across power loss is
+	// uncertain.
+	DirsyncFailures uint64 `json:"dirsync_failures"`
 	// Checkpoints is the number of resumable job records on disk.
 	Checkpoints int `json:"checkpoints"`
 	// Fleets is the number of persisted fleet registrations on disk.
 	Fleets int `json:"fleets"`
+
+	// Evictions counts results removed by the disk budget or the
+	// retention policy; EvictedBytes is their payload volume and
+	// Expired the subset evicted by retention age alone.
+	Evictions    uint64 `json:"evictions"`
+	EvictedBytes int64  `json:"evicted_bytes"`
+	Expired      uint64 `json:"expired"`
+	// BudgetRefusals counts result writes refused because eviction
+	// could not bring the store under budget; WriteFailures counts
+	// result writes that failed in the filesystem itself.
+	BudgetRefusals uint64 `json:"budget_refusals"`
+	WriteFailures  uint64 `json:"write_failures"`
+	// Degraded reports the store is shedding result writes; it clears
+	// when a result write succeeds again.
+	Degraded bool `json:"degraded"`
+
+	// Scrub counters: completed passes, frames re-verified, and frames
+	// the scrubber found rotten and quarantined.
+	ScrubPasses  uint64 `json:"scrub_passes"`
+	ScrubChecked uint64 `json:"scrub_checked"`
+	ScrubCorrupt uint64 `json:"scrub_corrupt"`
 }
 
 // JobRecord is the sidecar written next to a resumable job's checkpoint
@@ -60,6 +113,34 @@ type JobRecord struct {
 	Experiment string          `json:"experiment"`
 	Options    json.RawMessage `json:"options"`
 	Client     string          `json:"client,omitempty"`
+}
+
+// Config tunes a Store beyond its root directory.
+type Config struct {
+	// Dir is the store's root directory.
+	Dir string
+	// FS is the filesystem everything runs on; nil means the real one.
+	// Tests inject a vfs.FaultFS to crash, starve and corrupt the
+	// store deterministically.
+	FS vfs.FS
+	// Budget bounds the resident result payload bytes; past it the
+	// least-recently-used results are evicted down to the low
+	// watermark (7/8 of Budget), and a write that still cannot fit is
+	// refused with ErrBudget. Checkpoints and fleet sidecars are never
+	// evicted and never refused. 0 means unbounded.
+	Budget int64
+	// Retention evicts results unused for longer than this (checked at
+	// boot and on every scrub pass). 0 keeps results forever.
+	Retention time.Duration
+	// Clock overrides time.Now for retention tests.
+	Clock func() time.Time
+}
+
+// entry is one LRU-tracked resident result.
+type entry struct {
+	key     string
+	size    int64
+	lastUse time.Time
 }
 
 // Store is a disk-backed content-addressed result store rooted at one
@@ -75,66 +156,140 @@ type JobRecord struct {
 // results directory on Open, so the directory itself is the source of
 // truth and a crashed process loses nothing that finished a rename.
 type Store struct {
-	dir      string
-	results  string
-	ckpts    string
-	fleets   string
+	cfg     Config
+	fs      vfs.FS
+	now     func() time.Time
+	dir     string
+	results string
+	ckpts   string
+	fleets  string
+
 	mu       sync.Mutex
-	sizes    map[string]int64
+	index    map[string]*list.Element // key -> element holding *entry
+	lru      *list.List               // front = least recently used
 	bytes    int64
 	hits     uint64
 	misses   uint64
 	quarant  int
 	jobFiles int
+
+	degraded       bool
+	evictions      uint64
+	evictedBytes   int64
+	expired        uint64
+	budgetRefused  uint64
+	writeFailures  uint64
+	quarantFail    uint64
+	dirsyncFail    uint64
+	scrubPasses    uint64
+	scrubChecked   uint64
+	scrubCorrupt   uint64
+	loggedQuarFail bool
+	loggedDirsync  bool
+	loggedBudget   bool
+
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+	closeOnce sync.Once
 }
 
-// Open creates the store layout under dir (making the directories if
-// needed) and rebuilds the index by scanning and verifying every result
-// file. Corrupt or truncated entries — a torn write from a crash, a
-// flipped bit — are renamed to *.quarantine and logged; boot continues
-// without them. Leftover temp files from interrupted writes are
-// removed.
+// Open creates the store layout under dir with default configuration.
 func Open(dir string) (*Store, error) {
+	return OpenConfig(Config{Dir: dir})
+}
+
+// OpenConfig creates the store layout under cfg.Dir (making the
+// directories if needed) and rebuilds the index by scanning and
+// verifying every result file. Corrupt or truncated entries — a torn
+// write from a crash, a flipped bit — are renamed to *.quarantine and
+// logged; boot continues without them. Leftover temp files from
+// interrupted writes are removed, and the retention policy and disk
+// budget are enforced before the store is handed out, so a crash
+// mid-eviction cannot leave the store over budget.
+func OpenConfig(cfg Config) (*Store, error) {
 	s := &Store{
-		dir:     dir,
-		results: filepath.Join(dir, "results"),
-		ckpts:   filepath.Join(dir, "checkpoints"),
-		fleets:  filepath.Join(dir, "fleets"),
-		sizes:   make(map[string]int64),
+		cfg:     cfg,
+		fs:      cfg.FS,
+		now:     cfg.Clock,
+		dir:     cfg.Dir,
+		results: filepath.Join(cfg.Dir, "results"),
+		ckpts:   filepath.Join(cfg.Dir, "checkpoints"),
+		fleets:  filepath.Join(cfg.Dir, "fleets"),
+		index:   make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+	if s.fs == nil {
+		s.fs = vfs.OS{}
+	}
+	if s.now == nil {
+		s.now = time.Now
 	}
 	for _, d := range []string{s.results, s.ckpts, s.fleets} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := s.fs.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: creating %s: %w", d, err)
 		}
 	}
-	entries, err := os.ReadDir(s.results)
+	entries, err := s.fs.ReadDir(s.results)
 	if err != nil {
 		return nil, fmt.Errorf("store: scanning %s: %w", s.results, err)
 	}
+	type scanned struct {
+		ent   entry
+		mtime time.Time
+	}
+	var found []scanned
 	for _, e := range entries {
 		name := e.Name()
 		path := filepath.Join(s.results, name)
 		switch {
 		case strings.HasPrefix(name, ".tmp-"):
-			os.Remove(path) // interrupted write, never renamed in
+			s.fs.Remove(path) // interrupted write, never renamed in
 		case strings.HasSuffix(name, resultExt):
 			key := strings.TrimSuffix(name, resultExt)
-			payload, err := readResultFile(path)
+			payload, err := s.readResultFile(path)
 			if err != nil || !ValidKey(key) {
 				s.quarantineLocked(path, err)
 				continue
 			}
-			s.sizes[key] = int64(len(payload))
-			s.bytes += int64(len(payload))
+			mtime := s.now()
+			if info, err := e.Info(); err == nil {
+				mtime = info.ModTime()
+			}
+			found = append(found, scanned{entry{key, int64(len(payload)), mtime}, mtime})
 		}
 	}
-	jobs, err := os.ReadDir(s.ckpts)
-	if err != nil {
-		return nil, fmt.Errorf("store: scanning %s: %w", s.ckpts, err)
+	// Rebuild the LRU in last-use order (mtime ascending): the oldest
+	// results of the previous process are the first evicted by this
+	// one.
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].ent.key < found[j].ent.key
+	})
+	for _, f := range found {
+		ent := f.ent
+		s.index[ent.key] = s.lru.PushBack(&ent)
+		s.bytes += ent.size
 	}
-	for _, e := range jobs {
-		if strings.HasSuffix(e.Name(), jobExt) {
-			s.jobFiles++
+	s.enforceRetentionLocked()
+	if s.cfg.Budget > 0 && s.bytes > s.cfg.Budget {
+		s.shedLocked(s.lowWater(), "")
+	}
+
+	for _, scan := range []string{s.ckpts, s.fleets} {
+		files, err := s.fs.ReadDir(scan)
+		if err != nil {
+			return nil, fmt.Errorf("store: scanning %s: %w", scan, err)
+		}
+		for _, e := range files {
+			name := e.Name()
+			switch {
+			case strings.HasPrefix(name, ".tmp-"):
+				s.fs.Remove(filepath.Join(scan, name))
+			case scan == s.ckpts && strings.HasSuffix(name, jobExt):
+				s.jobFiles++
+			}
 		}
 	}
 	return s, nil
@@ -142,6 +297,24 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Close stops the background scrubber, if one was started. Idempotent;
+// the store's data methods stay usable after Close.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.scrubStop != nil {
+			close(s.scrubStop)
+			<-s.scrubDone
+		}
+	})
+}
+
+// lowWater is the eviction target under budget pressure: 7/8 of the
+// budget, so one eviction pass buys headroom instead of thrashing at
+// the boundary.
+func (s *Store) lowWater() int64 {
+	return s.cfg.Budget - s.cfg.Budget/8
+}
 
 // ValidKey reports whether key is a plausible content address: short
 // lowercase hex, so a key can never traverse out of the store
@@ -162,23 +335,59 @@ func ValidKey(key string) bool {
 // Put durably persists payload under key: checksum-framed temp file,
 // fsync, rename, directory fsync. After Put returns, a crash at any
 // point leaves either the previous state or the complete new entry —
-// never a half-written file under the final name.
+// never a half-written file under the final name. Under a disk budget
+// Put first evicts least-recently-used results to make room and
+// refuses with ErrBudget when it cannot — shedding the result cache
+// before any checkpoint write is ever at risk.
 func (s *Store) Put(key string, payload []byte) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid result key %q", key)
 	}
+	size := int64(len(payload))
+	s.mu.Lock()
+	if s.cfg.Budget > 0 {
+		var existing int64
+		if el, ok := s.index[key]; ok {
+			existing = el.Value.(*entry).size
+		}
+		if s.bytes-existing+size > s.cfg.Budget {
+			s.shedLocked(s.lowWater()-(size-existing), key)
+		}
+		if s.bytes-existing+size > s.cfg.Budget {
+			s.budgetRefused++
+			s.degraded = true
+			if !s.loggedBudget {
+				s.loggedBudget = true
+				log.Printf("store: shedding result writes: %d payload bytes will not fit the %d-byte budget (logged once)", size, s.cfg.Budget)
+			}
+			s.mu.Unlock()
+			return fmt.Errorf("store: %d-byte result %s over budget %d: %w", size, key, s.cfg.Budget, ErrBudget)
+		}
+	}
+	s.mu.Unlock()
+
 	frame := frameResult(payload)
 	final := filepath.Join(s.results, key+resultExt)
-	if err := atomicWrite(final, frame); err != nil {
+	synced, err := vfs.WriteAtomic(s.fs, final, frame)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noteDirsyncLocked(synced, err)
+	if err != nil {
+		s.writeFailures++
+		s.degraded = true
 		return fmt.Errorf("store: writing %s: %w", key, err)
 	}
-	s.mu.Lock()
-	if old, ok := s.sizes[key]; ok {
-		s.bytes -= old
+	if el, ok := s.index[key]; ok {
+		old := el.Value.(*entry)
+		s.bytes -= old.size
+		old.size = size
+		old.lastUse = s.now()
+		s.lru.MoveToBack(el)
+	} else {
+		s.index[key] = s.lru.PushBack(&entry{key, size, s.now()})
 	}
-	s.sizes[key] = int64(len(payload))
-	s.bytes += int64(len(payload))
-	s.mu.Unlock()
+	s.bytes += size
+	s.degraded = false
 	return nil
 }
 
@@ -187,7 +396,7 @@ func (s *Store) Put(key string, payload []byte) error {
 // corrupt entry is re-simulated rather than served.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
-	_, ok := s.sizes[key]
+	_, ok := s.index[key]
 	if !ok {
 		s.misses++
 		s.mu.Unlock()
@@ -195,21 +404,24 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.mu.Unlock()
 	path := filepath.Join(s.results, key+resultExt)
-	payload, err := readResultFile(path)
+	payload, err := s.readResultFile(path)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
 	if err != nil {
-		s.mu.Lock()
-		s.quarantineLocked(path, err)
-		if old, ok := s.sizes[key]; ok {
-			s.bytes -= old
-			delete(s.sizes, key)
+		if ok {
+			// Not re-verified concurrently: quarantine and drop.
+			s.quarantineLocked(path, err)
+			s.dropLocked(el)
 		}
 		s.misses++
-		s.mu.Unlock()
 		return nil, false
 	}
-	s.mu.Lock()
+	if ok {
+		el.Value.(*entry).lastUse = s.now()
+		s.lru.MoveToBack(el)
+	}
 	s.hits++
-	s.mu.Unlock()
 	return payload, true
 }
 
@@ -217,7 +429,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 func (s *Store) Has(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.sizes[key]
+	_, ok := s.index[key]
 	return ok
 }
 
@@ -225,23 +437,169 @@ func (s *Store) Has(key string) bool {
 func (s *Store) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.sizes))
-	for k := range s.sizes {
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
 		keys = append(keys, k)
 	}
 	return keys
 }
 
+// Degraded reports whether the store is currently shedding result
+// writes (budget refusals or filesystem write failures); it recovers
+// when a result write succeeds again.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// dropLocked removes an entry from the index without touching disk.
+func (s *Store) dropLocked(el *list.Element) {
+	ent := el.Value.(*entry)
+	s.bytes -= ent.size
+	s.lru.Remove(el)
+	delete(s.index, ent.key)
+}
+
+// evictLocked removes one result from index and disk. A failed disk
+// remove still drops the entry — the orphaned file is re-indexed (or
+// re-evicted) at the next boot, and accounting stays truthful about
+// what this process will serve.
+func (s *Store) evictLocked(el *list.Element, expired bool) {
+	ent := el.Value.(*entry)
+	s.evictions++
+	s.evictedBytes += ent.size
+	if expired {
+		s.expired++
+	}
+	s.dropLocked(el)
+	s.fs.Remove(filepath.Join(s.results, ent.key+resultExt))
+}
+
+// shedLocked evicts least-recently-used results until the resident
+// bytes drop to target. exclude (the key being written) is never
+// evicted; checkpoints and fleet sidecars live outside this index and
+// are untouchable by construction.
+func (s *Store) shedLocked(target int64, exclude string) {
+	for el := s.lru.Front(); el != nil && s.bytes > target; {
+		next := el.Next()
+		if el.Value.(*entry).key != exclude {
+			s.evictLocked(el, false)
+		}
+		el = next
+	}
+}
+
+// enforceRetentionLocked evicts results unused for longer than the
+// retention window.
+func (s *Store) enforceRetentionLocked() {
+	if s.cfg.Retention <= 0 {
+		return
+	}
+	cutoff := s.now().Add(-s.cfg.Retention)
+	for el := s.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).lastUse.Before(cutoff) {
+			s.evictLocked(el, true)
+		}
+		el = next
+	}
+}
+
+// ScrubReport is one scrub pass's outcome.
+type ScrubReport struct {
+	Checked int // frames re-read and verified
+	Corrupt int // frames quarantined (bit rot, truncation)
+	Expired int // results evicted by the retention policy
+}
+
+// Scrub re-verifies every resident result frame against its checksum,
+// quarantining any that rotted since the boot scan, and enforces the
+// retention policy and disk budget. The background scrubber calls it on
+// an interval; tests and operators can call it directly.
+func (s *Store) Scrub() ScrubReport {
+	var rep ScrubReport
+	s.mu.Lock()
+	expiredBefore := s.expired
+	s.enforceRetentionLocked()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		path := filepath.Join(s.results, key+resultExt)
+		_, err := s.readResultFile(path)
+		s.mu.Lock()
+		el, ok := s.index[key]
+		if !ok {
+			// Evicted or replaced while we read it; not ours to judge.
+			s.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			s.quarantineLocked(path, err)
+			s.dropLocked(el)
+			s.scrubCorrupt++
+			rep.Corrupt++
+		} else {
+			s.scrubChecked++
+			rep.Checked++
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	if s.cfg.Budget > 0 && s.bytes > s.cfg.Budget {
+		s.shedLocked(s.lowWater(), "")
+	}
+	s.scrubPasses++
+	rep.Expired = int(s.expired - expiredBefore)
+	s.mu.Unlock()
+	return rep
+}
+
+// StartScrubber launches the background scrubber goroutine, running
+// one Scrub pass every interval until Close. No-op for interval <= 0
+// or if already started.
+func (s *Store) StartScrubber(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.scrubStop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.scrubStop = make(chan struct{})
+	s.scrubDone = make(chan struct{})
+	s.mu.Unlock()
+	go func() {
+		defer close(s.scrubDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Scrub()
+			case <-s.scrubStop:
+				return
+			}
+		}
+	}()
+}
+
 // CheckpointPath returns the path a resumable job's checkpoint should
 // be written to. The store does not interpret the checkpoint's
-// contents; the lifetime engine owns that format (and its own atomic
-// rename discipline).
+// contents; the lifetime engine owns that format (and writes it
+// through the same vfs atomic-write discipline).
 func (s *Store) CheckpointPath(key string) string {
 	return filepath.Join(s.ckpts, key+ckptExt)
 }
 
 // PutJobRecord durably records a resumable job before it starts, so a
 // crash mid-run leaves enough on disk to resubmit it at the next boot.
+// Job records are never shed by the disk budget.
 func (s *Store) PutJobRecord(rec JobRecord) error {
 	if !ValidKey(rec.Key) {
 		return fmt.Errorf("store: invalid job record key %q", rec.Key)
@@ -253,11 +611,17 @@ func (s *Store) PutJobRecord(rec JobRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	path := filepath.Join(s.ckpts, rec.Key+jobExt)
-	if _, err := os.Stat(path); os.IsNotExist(err) {
-		s.jobFiles++
+	existed := true
+	if _, err := s.fs.Stat(path); err != nil {
+		existed = false
 	}
-	if err := atomicWrite(path, data); err != nil {
+	synced, err := vfs.WriteAtomic(s.fs, path, data)
+	s.noteDirsyncLocked(synced, err)
+	if err != nil {
 		return fmt.Errorf("store: writing job record %s: %w", rec.Key, err)
+	}
+	if !existed {
+		s.jobFiles++
 	}
 	return nil
 }
@@ -266,7 +630,7 @@ func (s *Store) PutJobRecord(rec JobRecord) error {
 // records are quarantined and skipped, so one corrupt sidecar never
 // blocks boot recovery of the others.
 func (s *Store) JobRecords() []JobRecord {
-	entries, err := os.ReadDir(s.ckpts)
+	entries, err := s.fs.ReadDir(s.ckpts)
 	if err != nil {
 		return nil
 	}
@@ -276,7 +640,7 @@ func (s *Store) JobRecords() []JobRecord {
 			continue
 		}
 		path := filepath.Join(s.ckpts, e.Name())
-		data, err := os.ReadFile(path)
+		data, err := s.fs.ReadFile(path)
 		var rec JobRecord
 		if err == nil {
 			err = json.Unmarshal(data, &rec)
@@ -302,12 +666,13 @@ func (s *Store) RemoveJob(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	jobPath := filepath.Join(s.ckpts, key+jobExt)
-	if _, err := os.Stat(jobPath); err == nil {
+	if _, err := s.fs.Stat(jobPath); err == nil {
 		s.jobFiles--
 	}
-	os.Remove(jobPath)
-	os.Remove(filepath.Join(s.ckpts, key+ckptExt))
-	os.Remove(filepath.Join(s.ckpts, key+ckptExt+".tmp"))
+	s.fs.Remove(jobPath)
+	ckpt := filepath.Join(s.ckpts, key+ckptExt)
+	s.fs.Remove(ckpt)
+	s.fs.Remove(vfs.TempName(ckpt))
 }
 
 // ValidFleetName reports whether name is safe to use as a fleet
@@ -337,13 +702,16 @@ type FleetRecord struct {
 }
 
 // PutFleet durably persists a fleet registration sidecar, so a restart
-// re-registers every scheduled population.
+// re-registers every scheduled population. Fleet sidecars are never
+// shed by the disk budget.
 func (s *Store) PutFleet(name string, data []byte) error {
 	if !ValidFleetName(name) {
 		return fmt.Errorf("store: invalid fleet name %q", name)
 	}
 	path := filepath.Join(s.fleets, name+fleetExt)
-	if err := atomicWrite(path, data); err != nil {
+	synced, err := vfs.WriteAtomic(s.fs, path, data)
+	s.noteDirsync(synced, err)
+	if err != nil {
 		return fmt.Errorf("store: writing fleet %s: %w", name, err)
 	}
 	return nil
@@ -353,7 +721,7 @@ func (s *Store) PutFleet(name string, data []byte) error {
 // sidecars are quarantined and skipped, so one corrupt registration
 // never blocks boot recovery of the others.
 func (s *Store) Fleets() []FleetRecord {
-	entries, err := os.ReadDir(s.fleets)
+	entries, err := s.fs.ReadDir(s.fleets)
 	if err != nil {
 		return nil
 	}
@@ -365,7 +733,7 @@ func (s *Store) Fleets() []FleetRecord {
 		}
 		path := filepath.Join(s.fleets, name)
 		base := strings.TrimSuffix(name, fleetExt)
-		data, err := os.ReadFile(path)
+		data, err := s.fs.ReadFile(path)
 		if err == nil && !ValidFleetName(base) {
 			err = fmt.Errorf("store: invalid fleet sidecar name %q", base)
 		}
@@ -385,9 +753,10 @@ func (s *Store) RemoveFleet(name string) {
 	if !ValidFleetName(name) {
 		return
 	}
-	os.Remove(filepath.Join(s.fleets, name+fleetExt))
-	os.Remove(filepath.Join(s.fleets, name+ckptExt))
-	os.Remove(filepath.Join(s.fleets, ".tmp-"+name+ckptExt))
+	s.fs.Remove(filepath.Join(s.fleets, name+fleetExt))
+	ckpt := filepath.Join(s.fleets, name+ckptExt)
+	s.fs.Remove(ckpt)
+	s.fs.Remove(vfs.TempName(ckpt))
 }
 
 // FleetCheckpointPath returns where a scheduled fleet's engine
@@ -398,12 +767,14 @@ func (s *Store) FleetCheckpointPath(name string) string {
 }
 
 // WriteFleetCheckpoint atomically replaces a scheduled fleet's engine
-// checkpoint.
+// checkpoint. Fleet checkpoints are never shed by the disk budget.
 func (s *Store) WriteFleetCheckpoint(name string, data []byte) error {
 	if !ValidFleetName(name) {
 		return fmt.Errorf("store: invalid fleet name %q", name)
 	}
-	if err := atomicWrite(s.FleetCheckpointPath(name), data); err != nil {
+	synced, err := vfs.WriteAtomic(s.fs, s.FleetCheckpointPath(name), data)
+	s.noteDirsync(synced, err)
+	if err != nil {
 		return fmt.Errorf("store: writing fleet checkpoint %s: %w", name, err)
 	}
 	return nil
@@ -415,7 +786,7 @@ func (s *Store) ReadFleetCheckpoint(name string) ([]byte, bool) {
 	if !ValidFleetName(name) {
 		return nil, false
 	}
-	data, err := os.ReadFile(s.FleetCheckpointPath(name))
+	data, err := s.fs.ReadFile(s.FleetCheckpointPath(name))
 	if err != nil {
 		return nil, false
 	}
@@ -424,33 +795,73 @@ func (s *Store) ReadFleetCheckpoint(name string) ([]byte, bool) {
 
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
 	fleetCount := 0
-	if entries, err := os.ReadDir(s.fleets); err == nil {
+	if entries, err := s.fs.ReadDir(s.fleets); err == nil {
 		for _, e := range entries {
 			if strings.HasSuffix(e.Name(), fleetExt) {
 				fleetCount++
 			}
 		}
 	}
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Entries:     len(s.sizes),
-		Bytes:       s.bytes,
-		Hits:        s.hits,
-		Misses:      s.misses,
-		Quarantined: s.quarant,
-		Checkpoints: s.jobFiles,
-		Fleets:      fleetCount,
+		Entries:            len(s.index),
+		Bytes:              s.bytes,
+		BudgetBytes:        s.cfg.Budget,
+		Hits:               s.hits,
+		Misses:             s.misses,
+		Quarantined:        s.quarant,
+		QuarantineFailures: s.quarantFail,
+		DirsyncFailures:    s.dirsyncFail,
+		Checkpoints:        s.jobFiles,
+		Fleets:             fleetCount,
+		Evictions:          s.evictions,
+		EvictedBytes:       s.evictedBytes,
+		Expired:            s.expired,
+		BudgetRefusals:     s.budgetRefused,
+		WriteFailures:      s.writeFailures,
+		Degraded:           s.degraded,
+		ScrubPasses:        s.scrubPasses,
+		ScrubChecked:       s.scrubChecked,
+		ScrubCorrupt:       s.scrubCorrupt,
+	}
+}
+
+// noteDirsync counts a failed directory sync behind a successful
+// atomic write, logging the first one.
+func (s *Store) noteDirsync(synced bool, writeErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noteDirsyncLocked(synced, writeErr)
+}
+
+func (s *Store) noteDirsyncLocked(synced bool, writeErr error) {
+	if synced || writeErr != nil {
+		return
+	}
+	s.dirsyncFail++
+	if !s.loggedDirsync {
+		s.loggedDirsync = true
+		log.Printf("store: directory sync failed after rename; rename durability uncertain (counted; logged once)")
 	}
 }
 
 // quarantineLocked sets a bad file aside under a .quarantine suffix so
-// it stops being scanned but stays inspectable. Callers hold s.mu.
+// it stops being scanned but stays inspectable. A failed quarantine
+// rename is counted (and logged once) — the entry is excluded from the
+// index either way, so the corruption is still never served. Callers
+// hold s.mu.
 func (s *Store) quarantineLocked(path string, cause error) {
 	s.quarant++
 	log.Printf("store: quarantining %s: %v", path, cause)
-	os.Rename(path, path+".quarantine")
+	if err := s.fs.Rename(path, path+".quarantine"); err != nil {
+		s.quarantFail++
+		if !s.loggedQuarFail {
+			s.loggedQuarFail = true
+			log.Printf("store: quarantine rename failed (counted; logged once): %v", err)
+		}
+	}
 }
 
 // frameResult wraps a payload in the store's verification frame:
@@ -470,8 +881,8 @@ func frameResult(payload []byte) []byte {
 
 // readResultFile reads and fully verifies one framed result file:
 // magic, exact length, checksum, no trailing bytes.
-func readResultFile(path string) ([]byte, error) {
-	data, err := os.ReadFile(path)
+func (s *Store) readResultFile(path string) ([]byte, error) {
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -494,38 +905,4 @@ func readResultFile(path string) ([]byte, error) {
 		return nil, fmt.Errorf("payload checksum mismatch")
 	}
 	return payload, nil
-}
-
-// atomicWrite replaces path with data via temp file + fsync + rename,
-// then fsyncs the directory so the rename itself is durable.
-func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp := filepath.Join(dir, ".tmp-"+filepath.Base(path))
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync() // best-effort: not every filesystem supports dir fsync
-		d.Close()
-	}
-	return nil
 }

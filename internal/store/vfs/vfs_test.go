@@ -1,0 +1,234 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAtomicRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if synced, err := WriteAtomic(OS{}, path, []byte("payload")); err != nil || !synced {
+		t.Fatalf("WriteAtomic = synced %v, err %v", synced, err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	// Replacement, not append; temp file gone.
+	if _, err := WriteAtomic(OS{}, path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("after replace: %q", got)
+	}
+	if _, err := os.Stat(TempName(path)); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}
+
+func TestWriteAtomicObeysDiscipline(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS{})
+	if _, err := WriteAtomic(f, filepath.Join(dir, "blob"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDiscipline(f.Log()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDisciplineCatchesMissingSync(t *testing.T) {
+	// A write path that skips the file sync (or the dir sync) must be
+	// rejected: this is the regression net for the un-fsynced
+	// checkpoint writer.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	sloppy := func(fsys FS, skipDirSync bool) []Record {
+		f := NewFaultFS(fsys)
+		h, err := f.OpenFile(TempName(path), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write([]byte("x"))
+		h.Close() // no Sync
+		f.Rename(TempName(path), path)
+		if !skipDirSync {
+			f.SyncDir(dir)
+		}
+		return f.Log()
+	}
+	if err := VerifyDiscipline(sloppy(OS{}, false)); err == nil {
+		t.Error("unsynced write before rename passed VerifyDiscipline")
+	}
+	full := NewFaultFS(OS{})
+	if _, err := WriteAtomic(full, path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	log := full.Log()
+	// Strip the trailing SyncDir: the rename must then be flagged.
+	if log[len(log)-1].Op != OpSyncDir {
+		t.Fatalf("unexpected tail op %v", log[len(log)-1])
+	}
+	if err := VerifyDiscipline(log[:len(log)-1]); err == nil {
+		t.Error("rename without directory sync passed VerifyDiscipline")
+	}
+}
+
+func TestFailAtAndShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+
+	// Rehearse to learn the step layout.
+	r := NewFaultFS(OS{})
+	if _, err := WriteAtomic(r, path, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	var writeStep, syncStep = -1, -1
+	for _, rec := range r.Log() {
+		switch rec.Op {
+		case OpWrite:
+			writeStep = rec.Step
+		case OpSync:
+			syncStep = rec.Step
+		}
+	}
+	if writeStep < 0 || syncStep < 0 {
+		t.Fatalf("rehearsal log missing write/sync: %v", r.Log())
+	}
+
+	// ENOSPC at the sync: WriteAtomic fails and removes its temp file.
+	f := NewFaultFS(OS{})
+	f.FailAt(syncStep, ErrNoSpace)
+	if _, err := WriteAtomic(f, path, []byte("new")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("WriteAtomic with failing sync = %v, want ErrNoSpace", err)
+	}
+	if _, err := os.Stat(TempName(path)); !os.IsNotExist(err) {
+		t.Error("temp file survived a failed WriteAtomic")
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, []byte("0123456789")) {
+		t.Errorf("previous bytes lost: %q", got)
+	}
+
+	// Short write: only the prefix lands in the temp file, the final
+	// path never changes.
+	f2 := NewFaultFS(OS{})
+	f2.ShortWriteAt(writeStep, 4)
+	if _, err := WriteAtomic(f2, path, []byte("abcdefgh")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write = %v, want ErrNoSpace", err)
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, []byte("0123456789")) {
+		t.Errorf("short write leaked into the final path: %q", got)
+	}
+}
+
+func TestCrashFreezesTree(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if _, err := WriteAtomic(OS{}, path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	r := NewFaultFS(OS{})
+	if _, err := WriteAtomic(r, path, []byte("replacement")); err != nil {
+		t.Fatal(err)
+	}
+	steps := r.Steps()
+	if _, err := WriteAtomic(OS{}, path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash at every step: the final path afterwards holds exactly the
+	// old or the new bytes, and once crashed, everything errors.
+	for i := 0; i < steps; i++ {
+		if _, err := WriteAtomic(OS{}, path, []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		f := NewFaultFS(OS{})
+		f.CrashAt(i)
+		synced, err := WriteAtomic(f, path, []byte("replacement"))
+		if err == nil {
+			// Only the final directory sync may crash without failing
+			// the write: the rename landed, durability is uncertain.
+			if synced {
+				t.Fatalf("crash at %d reported a synced directory", i)
+			}
+		} else if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash at %d: err = %v", i, err)
+		}
+		if !f.Crashed() {
+			t.Fatalf("crash at %d did not freeze", i)
+		}
+		if _, err := f.ReadFile(path); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("frozen tree served a read at step %d", i)
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil || (!bytes.Equal(got, []byte("old")) && !bytes.Equal(got, []byte("replacement"))) {
+			t.Fatalf("crash at %d left torn bytes %q (err %v)", i, got, rerr)
+		}
+	}
+}
+
+func TestCrashAtWriteLeavesTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	r := NewFaultFS(OS{})
+	if _, err := WriteAtomic(r, path, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	writeStep := -1
+	for _, rec := range r.Log() {
+		if rec.Op == OpWrite {
+			writeStep = rec.Step
+		}
+	}
+	os.Remove(path)
+
+	f := NewFaultFS(OS{})
+	f.CrashAtWrite(writeStep, 3)
+	if _, err := WriteAtomic(f, path, []byte("0123456789")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	// The torn prefix is stranded in the temp file — exactly what a
+	// boot scan must clean up — and the final path does not exist.
+	got, err := os.ReadFile(TempName(path))
+	if err != nil || !bytes.Equal(got, []byte("012")) {
+		t.Fatalf("temp file = %q, %v; want torn prefix \"012\"", got, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("final path exists despite crash mid-write")
+	}
+}
+
+func TestSeededFaultsDeterministic(t *testing.T) {
+	run := func(seed uint64) (int, []error) {
+		dir := t.TempDir()
+		f := NewFaultFS(OS{})
+		f.SeedFaults(seed, 0.3)
+		var errs []error
+		for i := 0; i < 40; i++ {
+			_, err := WriteAtomic(f, filepath.Join(dir, "blob"), []byte("x"))
+			errs = append(errs, err)
+		}
+		return f.Injected(), errs
+	}
+	n1, e1 := run(7)
+	n2, e2 := run(7)
+	if n1 == 0 {
+		t.Fatal("seeded schedule injected nothing at rate 0.3")
+	}
+	if n1 != n2 {
+		t.Fatalf("same seed injected %d vs %d faults", n1, n2)
+	}
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) || (e1[i] != nil && !errors.Is(e2[i], e1[i])) {
+			t.Fatalf("step %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if n3, _ := run(8); n3 == n1 {
+		t.Logf("different seed coincidentally injected the same count (%d); acceptable", n3)
+	}
+}
