@@ -1,7 +1,7 @@
 // Package penelope_test is the benchmark harness of the reproduction:
 // one benchmark per paper table/figure (regenerating its data and
 // reporting the headline quantity via ReportMetric) plus ablation
-// benchmarks for the design choices called out in DESIGN.md §9.
+// benchmarks for the design choices called out in DESIGN.md §10.
 //
 // Run with: go test -bench=. -benchmem
 package penelope_test
@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"penelope/internal/adder"
 	"penelope/internal/cache"
@@ -20,6 +21,7 @@ import (
 	"penelope/internal/lifetime"
 	"penelope/internal/metric"
 	"penelope/internal/nbti"
+	"penelope/internal/obs"
 	"penelope/internal/pipeline"
 	"penelope/internal/trace"
 )
@@ -476,6 +478,69 @@ func BenchmarkAblationMetricExponent(b *testing.B) {
 			b.ReportMetric(eff, "NBTIefficiency")
 		})
 	}
+}
+
+// BenchmarkObsOverhead prices the observability layer's hot-path
+// primitives: atomic counter increments, lock-free histogram observes,
+// label resolution, one-shot span recording, and — the guarantee the
+// fleet engine and cursor replay rely on — the nil-instrument no-op
+// path, which must be close to free.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("CounterInc", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		c := reg.Counter("bench_counter_total", "bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("HistogramObserve", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		h := reg.Histogram("bench_seconds", "bench", nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) * 1e-6)
+		}
+	})
+	b.Run("HistogramVecResolved", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		h := reg.HistogramVec("bench_vec_seconds", "bench", "label", nil).With("hot")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) * 1e-6)
+		}
+	})
+	b.Run("TracerRecord", func(b *testing.B) {
+		tr := obs.NewTracer()
+		start := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Record("bench", "span", start, time.Microsecond, nil)
+		}
+	})
+	b.Run("TracePhases", func(b *testing.B) {
+		tr := obs.NewTracer()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := tr.Begin("bench-job", "bench", "admit")
+			t.Phase("run")
+			t.Phase("done")
+			t.Finish()
+		}
+	})
+	b.Run("NilInstruments", func(b *testing.B) {
+		var c *obs.Counter
+		var h *obs.Histogram
+		var t *obs.Trace
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(1e-6)
+			t.Phase("noop")
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

@@ -28,8 +28,10 @@
 // -fleet-config schedules continuously-aged populations at boot (they
 // also register over POST /v1/fleets and resume from -data-dir
 // sidecars); -fleet-tick paces their epochs and -alert-webhook receives
-// their threshold and wearout-attack alerts. Invoking penelope with
-// flags but no subcommand behaves like `run`.
+// their threshold and wearout-attack alerts. GET /metrics serves
+// Prometheus text (JSON at /metrics.json) and -pprof serves
+// net/http/pprof on its own loopback listener, off by default.
+// Invoking penelope with flags but no subcommand behaves like `run`.
 package main
 
 import (
@@ -38,9 +40,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -193,8 +196,16 @@ func serveCmd(args []string) {
 		fleetConfig  = fs.String("fleet-config", "", "JSON file of fleet registrations to schedule at boot ({\"fleets\": [...]} or a bare array)")
 		fleetTick    = fs.Duration("fleet-tick", 0, "default interval between fleet epoch ticks (default 30s)")
 		alertWebhook = fs.String("alert-webhook", "", "POST fired fleet alerts to this URL (retries, circuit breaker, dead-letter queue)")
+
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. 127.0.0.1:6060 (default off; keep it loopback — the profiler is unauthenticated)")
 	)
 	fs.Parse(args)
+
+	logger := slog.Default().With("component", "serve")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	srv, err := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
@@ -203,26 +214,46 @@ func serveCmd(args []string) {
 		FleetTick: *fleetTick, AlertWebhook: *alertWebhook,
 	})
 	if err != nil {
-		log.Fatalf("penelope serve: %v", err)
+		fatal("starting service", err)
 	}
 	if *fleetConfig != "" {
 		n, err := registerFleetConfig(srv, *fleetConfig)
 		if err != nil {
-			log.Fatalf("penelope serve: -fleet-config: %v", err)
+			fatal("-fleet-config", err)
 		}
-		log.Printf("penelope serve: scheduled %d fleet registration(s) from %s", n, *fleetConfig)
+		logger.Info("scheduled fleet registrations", "count", n, "file", *fleetConfig)
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal("-pprof listen", err)
+		}
+		// Explicit mux: the profiler never rides on the API listener,
+		// and nothing else is reachable on the profiling port.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof server failed", "error", err)
+			}
+		}()
+		logger.Info("profiling enabled", "addr", pln.Addr().String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("penelope serve: %v", err)
+		fatal("listen", err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("penelope serve: draining (in-flight lifetime jobs checkpoint before exit)")
+		logger.Info("draining (in-flight lifetime jobs checkpoint before exit)")
 		// Stop accepting connections, then drain the pool: in-flight
 		// jobs see their context cancelled and checkpointed lifetime
 		// runs persist their state before the process exits.
@@ -232,12 +263,12 @@ func serveCmd(args []string) {
 		srv.Close()
 		httpSrv.Close()
 	}()
-	log.Printf("penelope serve: listening on %s (%d workers)", ln.Addr(), srv.Workers())
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", srv.Workers())
 	if *dataDir != "" {
-		log.Printf("penelope serve: persisting results under %s", *dataDir)
+		logger.Info("persisting results", "dir", *dataDir)
 	}
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("penelope serve: %v", err)
+		fatal("serving", err)
 	}
 	srv.Close()
 }

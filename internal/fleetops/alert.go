@@ -197,6 +197,9 @@ type DelivererConfig struct {
 	Seed uint64
 	// DeadLetterLimit bounds the retained dead letters (default 128).
 	DeadLetterLimit int
+	// Instruments, when set, records per-attempt sink latency and
+	// delivery spans. Nil costs nothing.
+	Instruments *Instruments
 }
 
 // Deliverer pushes alerts through the sink with per-attempt timeout,
@@ -315,8 +318,10 @@ func (d *Deliverer) deliver(a Alert) {
 			return
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), d.cfg.Timeout)
+		attemptStart := time.Now()
 		err := d.cfg.Sink.Deliver(ctx, a)
 		cancel()
+		d.cfg.Instruments.observeDeliver(a.ID, attempt, attemptStart, err)
 		if err == nil {
 			d.brk.success()
 			d.mu.Lock()

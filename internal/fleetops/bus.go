@@ -32,6 +32,7 @@ type Bus struct {
 
 	published atomic.Uint64
 	dropped   atomic.Uint64
+	ins       atomic.Pointer[Instruments]
 }
 
 type topic struct {
@@ -94,10 +95,21 @@ func (b *Bus) Drop(name string) {
 	delete(b.topics, name)
 }
 
+// SetInstruments attaches an observability bundle after construction
+// (NewBus stays instrument-free so uninstrumented buses skip even the
+// timestamp read on publish).
+func (b *Bus) SetInstruments(ins *Instruments) {
+	b.ins.Store(ins)
+}
+
 // Publish marshals data, appends the event to the topic's history ring,
 // and fans it out to subscribers without blocking. It returns the
 // assigned event.
 func (b *Bus) Publish(topicName, eventType string, data any) (Event, error) {
+	if ins := b.ins.Load(); ins != nil && ins.BusPublishSeconds != nil {
+		start := time.Now()
+		defer func() { ins.BusPublishSeconds.ObserveDuration(time.Since(start)) }()
+	}
 	raw, err := json.Marshal(data)
 	if err != nil {
 		return Event{}, err

@@ -5,12 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"penelope/internal/lifetime"
+	"penelope/internal/obs"
 )
 
 // State is a population's scheduler state.
@@ -73,6 +74,12 @@ type Config struct {
 	Workers int
 	// Tick overrides the tick body (tests).
 	Tick TickFunc
+	// Instruments, when set, records tick latency, aging throughput,
+	// and tick spans. Nil costs nothing.
+	Instruments *Instruments
+	// Logger receives the scheduler's structured log records; nil uses
+	// the process default tagged with component=fleetops.
+	Logger *slog.Logger
 }
 
 // population is one registered fleet's scheduler state. All mutable
@@ -168,6 +175,9 @@ func NewScheduler(cfg Config) *Scheduler {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Logger("fleetops")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Scheduler{cfg: cfg, ctx: ctx, cancel: cancel, pops: make(map[string]*population)}
@@ -442,8 +452,10 @@ type tickResult struct {
 // abandoned (its engine with it — the next tick reloads from the last
 // good snapshot) and counted as a failure.
 func (s *Scheduler) tick(p *population) {
+	start := time.Now()
 	s.mu.Lock()
-	p.lastTickStart = time.Now()
+	p.lastTickStart = start
+	name := p.reg.Name
 	s.mu.Unlock()
 	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.TickTimeout)
 	defer cancel()
@@ -459,8 +471,10 @@ func (s *Scheduler) tick(p *population) {
 	select {
 	case res := <-ch:
 		if res.err != nil {
+			s.cfg.Instruments.observeTick(name, start, 0, 0, res.err)
 			s.tickFailed(p, res.err)
 		} else {
+			s.cfg.Instruments.observeTick(name, start, len(res.rows), res.eng.Config().Population, nil)
 			s.tickOK(p, res)
 		}
 	case <-ctx.Done():
@@ -469,6 +483,7 @@ func (s *Scheduler) tick(p *population) {
 			// process; the last good snapshot is what persists.
 			return
 		}
+		s.cfg.Instruments.observeTick(name, start, 0, 0, fmt.Errorf("watchdog: tick exceeded %s deadline", s.cfg.TickTimeout))
 		s.watchdogFired(p)
 	}
 }
@@ -703,6 +718,6 @@ func (s *Scheduler) noteCheckpointFailure(name string, err error) {
 	first := s.ckptFail == 1
 	s.mu.Unlock()
 	if first {
-		log.Printf("fleetops: checkpoint write for %s failed: %v (counted; logged once)", name, err)
+		s.cfg.Logger.Warn("fleet checkpoint write failed (counted; logged once)", "fleet", name, "error", err)
 	}
 }

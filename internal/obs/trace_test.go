@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// checkContiguous asserts the snapshot's spans are monotonic and
+// gap-free: each span starts exactly where the previous one ended.
+func checkContiguous(t *testing.T, s TraceSnapshot) {
+	t.Helper()
+	at := int64(0)
+	for i, sp := range s.Spans {
+		if sp.StartNS != at {
+			t.Fatalf("span %d (%s) starts at %d, want %d (gap or overlap)", i, sp.Name, sp.StartNS, at)
+		}
+		if sp.DurationNS < 0 {
+			t.Fatalf("span %d (%s) has negative duration %d", i, sp.Name, sp.DurationNS)
+		}
+		at = sp.StartNS + sp.DurationNS
+	}
+	if s.Done && at != s.DurationNS {
+		t.Fatalf("spans end at %d, trace duration %d", at, s.DurationNS)
+	}
+}
+
+func TestTracePhases(t *testing.T) {
+	tr := NewTracer()
+	tc := tr.Begin("job-1", "job", "admit")
+	tc.Attr("experiment", "fig4")
+	tc.Phase("queue-wait")
+	time.Sleep(time.Millisecond)
+	tc.Phase("run")
+	tc.Phase("store-write")
+	tc.Phase("done")
+	tc.Finish()
+
+	s, ok := tr.Get("job-1")
+	if !ok {
+		t.Fatal("trace not found")
+	}
+	if !s.Done {
+		t.Fatal("trace should be done")
+	}
+	names := make([]string, len(s.Spans))
+	for i, sp := range s.Spans {
+		names[i] = sp.Name
+	}
+	want := []string{"admit", "queue-wait", "run", "store-write", "done"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("spans = %v, want %v", names, want)
+	}
+	if s.Spans[0].Attrs["experiment"] != "fig4" {
+		t.Fatalf("attr lost: %+v", s.Spans[0].Attrs)
+	}
+	checkContiguous(t, s)
+	// queue-wait really slept.
+	if s.Spans[1].DurationNS < int64(time.Millisecond/2) {
+		t.Fatalf("queue-wait span too short: %d", s.Spans[1].DurationNS)
+	}
+}
+
+func TestTraceFinishIdempotent(t *testing.T) {
+	tr := NewTracer()
+	tc := tr.Begin("job-2", "job", "admit")
+	tc.Finish()
+	end1, _ := tr.Get("job-2")
+	tc.Phase("late") // ignored after finish
+	tc.Finish()
+	end2, _ := tr.Get("job-2")
+	if len(end2.Spans) != len(end1.Spans) || end2.DurationNS != end1.DurationNS {
+		t.Fatalf("finish not idempotent: %+v vs %+v", end1, end2)
+	}
+}
+
+func TestTraceUnfinishedSnapshot(t *testing.T) {
+	tr := NewTracer()
+	tc := tr.Begin("job-3", "job", "admit")
+	tc.Phase("run")
+	s, ok := tr.Get("job-3")
+	if !ok || s.Done {
+		t.Fatalf("want live trace, got ok=%v done=%v", ok, s.Done)
+	}
+	checkContiguous(t, s)
+	if len(s.Spans) != 2 || s.Spans[1].Name != "run" {
+		t.Fatalf("spans = %+v", s.Spans)
+	}
+}
+
+func TestTracerRecordAndRecent(t *testing.T) {
+	tr := NewTracer()
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		tr.Record("store", "put", base.Add(time.Duration(i)*time.Millisecond),
+			time.Millisecond, map[string]string{"n": fmt.Sprint(i)})
+	}
+	got := tr.Recent("store", 3)
+	if len(got) != 3 {
+		t.Fatalf("recent = %d, want 3", len(got))
+	}
+	// Newest first.
+	if got[0].Spans[0].Attrs["n"] != "4" || got[2].Spans[0].Attrs["n"] != "2" {
+		t.Fatalf("order wrong: %+v", got)
+	}
+	for _, s := range got {
+		if !s.Done || len(s.Spans) != 1 || s.Spans[0].Name != "put" {
+			t.Fatalf("bad one-shot trace: %+v", s)
+		}
+		checkContiguous(t, s)
+	}
+	comps := tr.Components()
+	if len(comps) != 1 || comps[0] != "store" {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestTracerRingsBounded(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < defaultRingCap*2; i++ {
+		tr.Record("fleet", "tick", time.Now(), time.Microsecond, nil)
+	}
+	if got := len(tr.Recent("fleet", 0)); got != defaultRingCap {
+		t.Fatalf("ring size = %d, want %d", got, defaultRingCap)
+	}
+	for i := 0; i < defaultIDCap+10; i++ {
+		tr.Begin(fmt.Sprintf("job-%d", i), "job", "admit").Finish()
+	}
+	if _, ok := tr.Get("job-0"); ok {
+		t.Fatal("oldest ID should have been evicted")
+	}
+	if _, ok := tr.Get(fmt.Sprintf("job-%d", defaultIDCap+9)); !ok {
+		t.Fatal("newest ID should be present")
+	}
+	tr.mu.Lock()
+	n := len(tr.byID)
+	tr.mu.Unlock()
+	if n != defaultIDCap {
+		t.Fatalf("byID size = %d, want %d", n, defaultIDCap)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := fmt.Sprintf("job-%d-%d", g, i)
+				tc := tr.Begin(id, "job", "admit")
+				tc.Phase("run")
+				tr.Record("store", "put", time.Now(), time.Microsecond, nil)
+				tc.Finish()
+				if s, ok := tr.Get(id); ok {
+					checkContiguous(t, s)
+				}
+				tr.Recent("job", 10)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

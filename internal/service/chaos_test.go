@@ -138,7 +138,7 @@ func TestChaosFaultStorm(t *testing.T) {
 
 	// The books balance: recovered panics equal injected panics, and the
 	// server is still healthy enough to run a clean job.
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestChaosLifetimeResumeAcrossRestart(t *testing.T) {
 	}
 
 	// The resume bookkeeping: counted, and the sidecar cleaned up.
-	resp, err = http.Get(ts2.URL + "/metrics")
+	resp, err = http.Get(ts2.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -609,7 +609,7 @@ func TestChaosFleetSIGTERMMidTickResumes(t *testing.T) {
 	}
 
 	// /metrics reports the boot-time resumes.
-	resp, err := http.Get(ts2.URL + "/metrics")
+	resp, err := http.Get(ts2.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -225,6 +225,7 @@ func refill(b *bucket, now time.Time, rate, burst float64) float64 {
 type backoffController struct {
 	mu        sync.Mutex
 	svcTime   float64 // EWMA of job service seconds; 0 = no samples yet
+	waitTime  float64 // EWMA of observed queue-wait seconds; 0 = no samples yet
 	highWater float64 // queue fraction where shedding starts
 	rng       *rand.Rand
 	shed      uint64
@@ -252,6 +253,21 @@ func (b *backoffController) observe(d time.Duration) {
 		b.svcTime = s
 	} else {
 		b.svcTime = 0.8*b.svcTime + 0.2*s
+	}
+}
+
+// observeWait folds one leader job's measured queue wait (submit →
+// worker pickup) into the wait EWMA. The same measurement feeds the
+// queue-wait histogram, so the Retry-After hint and the exported
+// distribution can never disagree about what the server observed.
+func (b *backoffController) observeWait(d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := d.Seconds()
+	if b.waitTime == 0 {
+		b.waitTime = s
+	} else {
+		b.waitTime = 0.8*b.waitTime + 0.2*s
 	}
 }
 
@@ -284,10 +300,13 @@ func (b *backoffController) admit(depth, max int) bool {
 
 // retryAfter estimates when a rejected submission is worth retrying:
 // the time for the current backlog to drain through the workers, at
-// the observed per-job service time, clamped to [1s, 300s].
+// the observed per-job service time — raised to the measured queue-wait
+// EWMA when jobs are actually waiting longer than the model predicts
+// (ring contention, uneven service times) — clamped to [1s, 300s].
 func (b *backoffController) retryAfter(depth, workers int) time.Duration {
 	b.mu.Lock()
 	svc := b.svcTime
+	observedWait := b.waitTime
 	b.mu.Unlock()
 	if svc == 0 {
 		svc = defaultServiceTime.Seconds()
@@ -295,7 +314,11 @@ func (b *backoffController) retryAfter(depth, workers int) time.Duration {
 	if workers < 1 {
 		workers = 1
 	}
-	wait := time.Duration(svc * float64(depth+1) / float64(workers) * float64(time.Second))
+	secs := svc * float64(depth+1) / float64(workers)
+	if observedWait > secs {
+		secs = observedWait
+	}
+	wait := time.Duration(secs * float64(time.Second))
 	if wait < time.Second {
 		wait = time.Second
 	}

@@ -510,7 +510,7 @@ func TestFleetQuarantineVisible(t *testing.T) {
 	}
 
 	var m Metrics
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics.json", &m); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
 	if m.Fleet.Scheduler.Quarantined != 1 || m.Fleet.Scheduler.TickFailures < 2 {
@@ -552,7 +552,7 @@ func TestFleetAlertsDeliveredDeterministically(t *testing.T) {
 	}
 
 	var m Metrics
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics.json", &m); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
 	if m.Fleet.Alerts.Fired == 0 {

@@ -1,7 +1,10 @@
 package service
 
 import (
+	"time"
+
 	"penelope/internal/experiments"
+	"penelope/internal/obs"
 )
 
 // JobState is the lifecycle of a job: queued → running → done|failed.
@@ -43,4 +46,12 @@ type Job struct {
 	// SweepID groups the jobs of one sweep submission; their completions
 	// stream as "point" events on /v1/sweeps/{id}/events.
 	SweepID string `json:"sweep_id,omitempty"`
+
+	// Unexported observability state: invisible to the JSON API and to
+	// snapshot copies' consumers. trace is set once in submit before the
+	// job is shared, so later reads need no lock; the Trace itself is
+	// internally synchronized.
+	trace       *obs.Trace
+	submittedAt time.Time // when submit registered the job
+	enqueuedAt  time.Time // when the leader entered the fair pool
 }

@@ -1,0 +1,306 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"penelope/internal/fleetops"
+	"penelope/internal/obs"
+	"penelope/internal/store"
+)
+
+// This file is the server's observability surface: the per-server
+// metrics registry (Prometheus text on GET /metrics, the original JSON
+// payload on /metrics.json or Accept: application/json), the job
+// lifecycle tracer behind /v1/jobs/{id}/trace and /v1/debug/traces,
+// and the histograms the hot paths feed. Every server owns its own
+// Registry and Tracer — nothing is global — so tests and multi-server
+// processes never collide.
+
+// serverObs bundles the service tier's own instruments. The registry
+// also carries the store and fleetops families (registered by their
+// NewInstruments constructors) and mirrors of the JSON counters via
+// CounterFunc/GaugeFunc, so one scrape sees the whole process.
+type serverObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	httpSeconds *obs.HistogramVec // request latency by route pattern
+	jobSeconds  *obs.Histogram    // submit → terminal state
+	queueWait   *obs.Histogram    // submit → worker pickup (leaders)
+	runSeconds  *obs.HistogramVec // runner latency by experiment
+}
+
+// cached wraps a stats snapshot function with a small TTL so one
+// Prometheus scrape reading several families from the same source
+// (store.Stats walks directories, Deliverer.Stats copies dead letters)
+// pays for one snapshot, not one per family.
+func cached[T any](ttl time.Duration, fn func() T) func() T {
+	var mu sync.Mutex
+	var at time.Time
+	var v T
+	return func() T {
+		mu.Lock()
+		defer mu.Unlock()
+		if at.IsZero() || time.Since(at) > ttl {
+			v = fn()
+			at = time.Now()
+		}
+		return v
+	}
+}
+
+// statsCacheTTL bounds staleness of snapshot-backed families within a
+// scrape; small enough that tests polling after an action still see it.
+const statsCacheTTL = 100 * time.Millisecond
+
+// initObs builds the registry and tracer and registers the service
+// tier's families. It runs before the store opens and before
+// initFleetops, so those layers can hang their instruments on the same
+// registry; store- and fleet-stat mirrors are registered later, once
+// the objects they read exist.
+func (s *Server) initObs() {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg:    reg,
+		tracer: obs.NewTracer(),
+		httpSeconds: reg.HistogramVec("penelope_http_request_seconds",
+			"HTTP request latency by route pattern.", "route", nil),
+		jobSeconds: reg.Histogram("penelope_job_seconds",
+			"Job latency from submission to terminal state, cache hits included.", nil),
+		queueWait: reg.Histogram("penelope_job_queue_wait_seconds",
+			"Leader job wait from submission to worker pickup; feeds the Retry-After estimator.", nil),
+		runSeconds: reg.HistogramVec("penelope_experiment_run_seconds",
+			"Runner attempt latency by experiment id (retries observe once per attempt).", "experiment", nil),
+	}
+	s.obs = o
+
+	lockedU64 := func(f func() uint64) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	reg.CounterFunc("penelope_jobs_submitted_total", "Jobs ever submitted (including cache hits and rejected leaders).",
+		lockedU64(func() uint64 { return s.nextID }))
+	reg.CounterFunc("penelope_jobs_done_total", "Jobs finished successfully.",
+		lockedU64(func() uint64 { return s.done }))
+	reg.CounterFunc("penelope_jobs_failed_total", "Jobs finished with an error.",
+		lockedU64(func() uint64 { return s.failed }))
+	reg.CounterFunc("penelope_jobs_rejected_total", "Submissions dropped because the queue was full.",
+		lockedU64(func() uint64 { return s.rejected }))
+	reg.CounterFunc("penelope_jobs_throttled_total", "Submissions rejected by per-client rate limiting.",
+		lockedU64(func() uint64 { return s.throttled }))
+	reg.CounterFunc("penelope_jobs_retries_total", "Transient-failure retry attempts.",
+		lockedU64(func() uint64 { return s.retries }))
+	reg.CounterFunc("penelope_jobs_panics_recovered_total", "Driver panics recovered into failed jobs.",
+		lockedU64(func() uint64 { return s.panics }))
+	reg.CounterFunc("penelope_jobs_timeouts_total", "Jobs failed by the per-job timeout.",
+		lockedU64(func() uint64 { return s.timeouts }))
+	reg.CounterFunc("penelope_jobs_resumed_total", "Interrupted jobs resubmitted at boot.",
+		lockedU64(func() uint64 { return s.resumed }))
+	reg.CounterFunc("penelope_jobs_shed_total", "Submissions dropped by progressive load shedding.",
+		s.backoff.shedCount)
+	reg.CounterFunc("penelope_untracked_clients_total", "Requests attributed to the ~other cell because the per-client counter map was full.",
+		lockedU64(func() uint64 { return s.untracked }))
+	lockedGauge := func(f func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	reg.GaugeFunc("penelope_jobs_queued", "Jobs currently queued.",
+		lockedGauge(func() float64 { return float64(s.queued) }))
+	reg.GaugeFunc("penelope_jobs_running", "Jobs currently running.",
+		lockedGauge(func() float64 { return float64(s.running) }))
+
+	reg.GaugeFunc("penelope_queue_depth", "Fair-pool queued tasks.",
+		func() float64 { return float64(s.pool.queueDepth()) })
+	reg.GaugeFunc("penelope_queue_capacity", "Fair-pool queue bound.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("penelope_workers", "Worker pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+
+	cacheStats := cached(statsCacheTTL, s.cache.Stats)
+	reg.GaugeFunc("penelope_cache_entries", "Completed results held in the in-memory cache.",
+		func() float64 { return float64(cacheStats().Entries) })
+	reg.CounterFunc("penelope_cache_hits_total", "Requests served from a completed cache entry.",
+		func() uint64 { return cacheStats().Hits })
+	reg.CounterFunc("penelope_cache_misses_total", "Requests that had to run the simulation.",
+		func() uint64 { return cacheStats().Misses })
+	reg.CounterFunc("penelope_cache_inflight_dedups_total", "Requests that attached to an already-running simulation.",
+		func() uint64 { return cacheStats().InflightDedups })
+
+	obs.RegisterRuntimeMetrics(reg)
+}
+
+// registerStoreMetrics mirrors the disk store's JSON counters as
+// Prometheus families. Called only when persistence is on, so an
+// in-memory server's exposition carries no store families at all.
+func (s *Server) registerStoreMetrics() {
+	st := cached(statsCacheTTL, s.store.Stats)
+	reg := s.obs.reg
+	reg.GaugeFunc("penelope_store_entries", "Verified result payloads on disk.",
+		func() float64 { return float64(st().Entries) })
+	reg.GaugeFunc("penelope_store_bytes", "Total result payload bytes held on disk.",
+		func() float64 { return float64(st().Bytes) })
+	reg.GaugeFunc("penelope_store_degraded", "1 while the store is shedding result writes, else 0.",
+		func() float64 {
+			if st().Degraded {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("penelope_store_hits_total", "Store reads served from disk.",
+		func() uint64 { return st().Hits })
+	reg.CounterFunc("penelope_store_misses_total", "Store reads for keys not held.",
+		func() uint64 { return st().Misses })
+	reg.CounterFunc("penelope_store_quarantined_total", "Corrupt or truncated files set aside instead of served.",
+		func() uint64 { return uint64(st().Quarantined) })
+	reg.CounterFunc("penelope_store_evictions_total", "Results removed by the disk budget or retention policy.",
+		func() uint64 { return st().Evictions })
+	reg.CounterFunc("penelope_store_budget_refusals_total", "Result writes refused because eviction could not free enough budget.",
+		func() uint64 { return st().BudgetRefusals })
+	reg.CounterFunc("penelope_store_write_failures_total", "Result writes that failed in the filesystem.",
+		func() uint64 { return st().WriteFailures })
+}
+
+// registerFleetMetrics mirrors the continuous-operations counters.
+// Called from initFleetops once the scheduler, bus, alerter and (maybe)
+// deliverer exist.
+func (s *Server) registerFleetMetrics() {
+	reg := s.obs.reg
+	sched := cached(statsCacheTTL, s.sched.Stats)
+	reg.GaugeFunc("penelope_fleet_populations", "Registered fleet populations.",
+		func() float64 { return float64(sched().Populations) })
+	reg.GaugeFunc("penelope_fleet_active", "Fleet populations currently active.",
+		func() float64 { return float64(sched().Active) })
+	reg.GaugeFunc("penelope_fleet_quarantined", "Fleet populations currently quarantined.",
+		func() float64 { return float64(sched().Quarantined) })
+	reg.CounterFunc("penelope_fleet_ticks_total", "Fleet scheduler ticks completed.",
+		func() uint64 { return sched().Ticks })
+	reg.CounterFunc("penelope_fleet_tick_failures_total", "Fleet ticks that failed.",
+		func() uint64 { return sched().TickFailures })
+	reg.CounterFunc("penelope_fleet_watchdog_timeouts_total", "Fleet ticks cancelled by the watchdog.",
+		func() uint64 { return sched().WatchdogTimeouts })
+	reg.CounterFunc("penelope_fleet_checkpoint_failures_total", "Fleet checkpoint writes refused or failed.",
+		func() uint64 { return sched().CheckpointFailures })
+
+	bus := cached(statsCacheTTL, s.bus.Stats)
+	reg.GaugeFunc("penelope_bus_topics", "Event bus topics.",
+		func() float64 { return float64(bus().Topics) })
+	reg.GaugeFunc("penelope_bus_subscribers", "Event bus subscriptions.",
+		func() float64 { return float64(bus().Subscribers) })
+	reg.CounterFunc("penelope_bus_published_total", "Events published on the bus.",
+		func() uint64 { return bus().Published })
+	reg.CounterFunc("penelope_bus_dropped_total", "Events dropped by full subscriber buffers.",
+		func() uint64 { return bus().Dropped })
+
+	alerts := cached(statsCacheTTL, s.alerter.Stats)
+	reg.CounterFunc("penelope_alerts_evaluated_total", "Alert rule evaluations.",
+		func() uint64 { return alerts().Evaluated })
+	reg.CounterFunc("penelope_alerts_fired_total", "Alerts fired.",
+		func() uint64 { return alerts().Fired })
+
+	if s.deliverer != nil {
+		del := cached(statsCacheTTL, s.deliverer.Stats)
+		reg.GaugeFunc("penelope_alert_queue_depth", "Alert delivery queue depth.",
+			func() float64 { return float64(del().QueueDepth) })
+		reg.CounterFunc("penelope_alert_delivered_total", "Alerts delivered to the sink.",
+			func() uint64 { return del().Delivered })
+		reg.CounterFunc("penelope_alert_retries_total", "Alert delivery retries.",
+			func() uint64 { return del().Retries })
+		reg.CounterFunc("penelope_alert_dead_lettered_total", "Alerts dead-lettered after exhausting retries.",
+			func() uint64 { return del().DeadLettered })
+	}
+}
+
+// route registers a handler wrapped with the per-route latency
+// histogram. The pattern string itself is the label, so cardinality is
+// bounded by the route table, never by request paths.
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	hist := s.obs.httpSeconds.With(pattern)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.ObserveDuration(time.Since(start))
+	})
+}
+
+// handleMetrics negotiates the exposition format: Prometheus text by
+// default, the original JSON payload (byte-identical to /metrics.json)
+// when the client asks for application/json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	s.obs.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics())
+}
+
+// handleJobTrace serves one job's lifecycle trace: spans from admission
+// through queue wait, run, store write, to done.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.obs.tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleDebugTraces serves recent traces by component
+// (?component=job|store|scrub|fleet|alert&n=32); without a component it
+// lists the components that have recorded anything.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	component := r.URL.Query().Get("component")
+	if component == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"components": s.obs.tracer.Components()})
+		return
+	}
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		n = parsed
+	}
+	traces := s.obs.tracer.Recent(component, n)
+	if traces == nil {
+		traces = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"component": component, "traces": traces})
+}
+
+// Registry exposes the server's metrics registry (CLI wiring, tests).
+func (s *Server) Registry() *obs.Registry { return s.obs.reg }
+
+// Tracer exposes the server's span tracer (CLI wiring, tests).
+func (s *Server) Tracer() *obs.Tracer { return s.obs.tracer }
+
+// storeInstruments builds the disk store's instrument bundle on the
+// server's registry.
+func (s *Server) storeInstruments() *store.Instruments {
+	return store.NewInstruments(s.obs.reg, s.obs.tracer)
+}
+
+// fleetInstruments builds the fleetops instrument bundle on the
+// server's registry.
+func (s *Server) fleetInstruments() *fleetops.Instruments {
+	return fleetops.NewInstruments(s.obs.reg, s.obs.tracer)
+}

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"runtime"
@@ -19,6 +19,7 @@ import (
 
 	"penelope/internal/experiments"
 	"penelope/internal/fleetops"
+	"penelope/internal/obs"
 	"penelope/internal/store"
 )
 
@@ -155,6 +156,8 @@ type Server struct {
 	store   *store.Store
 	limiter *rateLimiter
 	backoff *backoffController
+	obs     *serverObs
+	logger  *slog.Logger
 
 	bus       *fleetops.Bus
 	sched     *fleetops.Scheduler
@@ -185,6 +188,7 @@ type Server struct {
 
 	clients        map[string]*ClientCounters
 	clientOverflow ClientCounters // aggregate beyond the tracked bound
+	untracked      uint64         // requests folded into the overflow cell
 
 	sweeps    map[string]*sweepTrack // in-flight sweeps, for point streaming
 	sweepSeq  uint64
@@ -255,11 +259,14 @@ func New(cfg Config) (*Server, error) {
 		clients:   make(map[string]*ClientCounters),
 		sweeps:    make(map[string]*sweepTrack),
 	}
+	s.logger = obs.Logger("service")
+	s.initObs()
 	if cfg.DataDir != "" {
 		st, err := store.OpenConfig(store.Config{
-			Dir:       cfg.DataDir,
-			Budget:    cfg.StoreBudget,
-			Retention: cfg.StoreRetention,
+			Dir:         cfg.DataDir,
+			Budget:      cfg.StoreBudget,
+			Retention:   cfg.StoreRetention,
+			Instruments: s.storeInstruments(),
 		})
 		if err != nil {
 			cancel()
@@ -268,6 +275,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		st.StartScrubber(cfg.ScrubInterval)
 		s.store = st
+		s.registerStoreMetrics()
 	}
 	if s.cfg.Runner == nil {
 		s.cfg.Runner = s.registryRunner
@@ -282,7 +290,9 @@ func New(cfg Config) (*Server, error) {
 // the alert pipeline (when a sink is configured), and the self-healing
 // fleet scheduler backed by the disk store's sidecars.
 func (s *Server) initFleetops() {
+	fleetIns := s.fleetInstruments()
 	s.bus = fleetops.NewBus(0)
+	s.bus.SetInstruments(fleetIns)
 	sink := s.cfg.AlertSink
 	if sink == nil && s.cfg.AlertWebhook != "" {
 		sink = &fleetops.WebhookSink{URL: s.cfg.AlertWebhook}
@@ -297,6 +307,7 @@ func (s *Server) initFleetops() {
 			BreakerThreshold: 5,
 			BreakerCooldown:  30 * time.Second,
 			Seed:             s.cfg.AlertSeed,
+			Instruments:      fleetIns,
 		})
 	}
 	s.alerter = fleetops.NewAlerter(s.bus, s.deliverer)
@@ -315,7 +326,9 @@ func (s *Server) initFleetops() {
 		TickTimeout:        s.cfg.FleetTickTimeout,
 		RetryBackoff:       s.cfg.FleetRetryBackoff,
 		Workers:            s.cfg.Workers,
+		Instruments:        fleetIns,
 	})
+	s.registerFleetMetrics()
 }
 
 // recoverFleets re-registers every fleet sidecar found on disk, so a
@@ -328,17 +341,17 @@ func (s *Server) recoverFleets() {
 	for _, rec := range s.store.Fleets() {
 		var reg fleetops.Registration
 		if err := json.Unmarshal(rec.Data, &reg); err != nil {
-			log.Printf("service: skipping fleet sidecar %s with unreadable registration: %v", rec.Name, err)
+			s.logger.Warn("skipping fleet sidecar with unreadable registration", "fleet", rec.Name, "error", err)
 			continue
 		}
 		if _, err := s.sched.Register(reg); err != nil {
-			log.Printf("service: re-registering fleet %s: %v", rec.Name, err)
+			s.logger.Warn("re-registering fleet failed", "fleet", rec.Name, "error", err)
 			continue
 		}
 		s.mu.Lock()
 		s.fleetBoot++
 		s.mu.Unlock()
-		log.Printf("service: resumed fleet %s from its sidecar", rec.Name)
+		s.logger.Info("resumed fleet from its sidecar", "fleet", rec.Name)
 	}
 }
 
@@ -369,7 +382,7 @@ func (s *Server) recoverInterrupted() {
 		}
 		var o experiments.Options
 		if err := json.Unmarshal(rec.Options, &o); err != nil {
-			log.Printf("service: skipping job record %s with unreadable options: %v", rec.Key, err)
+			s.logger.Warn("skipping job record with unreadable options", "key", rec.Key, "error", err)
 			continue
 		}
 		client := rec.Client
@@ -378,7 +391,7 @@ func (s *Server) recoverInterrupted() {
 		}
 		job, err := s.submit(client, rec.Experiment, o, "")
 		if err != nil {
-			log.Printf("service: resubmitting interrupted job %s: %v", rec.Key, err)
+			s.logger.Warn("resubmitting interrupted job failed", "key", rec.Key, "error", err)
 			continue
 		}
 		if job.ResultKey != rec.Key {
@@ -389,7 +402,7 @@ func (s *Server) recoverInterrupted() {
 		s.mu.Lock()
 		s.resumed++
 		s.mu.Unlock()
-		log.Printf("service: resumed interrupted %s job as %s (key %s)", rec.Experiment, job.ID, job.ResultKey)
+		s.logger.Info("resumed interrupted job", "experiment", rec.Experiment, "job", job.ID, "key", job.ResultKey)
 	}
 }
 
@@ -448,6 +461,11 @@ func (s *Server) submit(client, experiment string, o experiments.Options, sweepI
 		State:      StateQueued,
 		SweepID:    sweepID,
 	}
+	job.submittedAt = time.Now()
+	job.trace = s.obs.tracer.Begin(job.ID, "job", "admit")
+	job.trace.Attr("experiment", experiment)
+	job.trace.Attr("client", client)
+	job.trace.Attr("key", key)
 	s.jobs[job.ID] = job
 	s.queued++
 	s.mu.Unlock()
@@ -457,11 +475,13 @@ func (s *Server) submit(client, experiment string, o experiments.Options, sweepI
 	case ready:
 		// Served from cache: the payload is resident, the job is done
 		// before the response is written.
+		job.trace.Attr("source", "cache")
 		_, err := entry.Wait()
 		s.finish(job, err, true)
 	case !leader:
 		// In-flight dedup: share the running simulation's outcome.
 		s.setCacheHit(job)
+		job.trace.Phase("follow")
 		go func() {
 			_, err := entry.Wait()
 			s.finish(job, err, true)
@@ -471,6 +491,7 @@ func (s *Server) submit(client, experiment string, o experiments.Options, sweepI
 			// Read-through: a result persisted by an earlier process
 			// completes the job without re-simulation.
 			if payload, ok := s.store.Get(key); ok {
+				job.trace.Attr("source", "store")
 				s.cache.Complete(entry, payload, nil)
 				s.finish(job, nil, true)
 				return job, nil
@@ -485,10 +506,12 @@ func (s *Server) submit(client, experiment string, o experiments.Options, sweepI
 					})
 				}
 				if err != nil {
-					log.Printf("service: recording resumable job %s: %v", key, err)
+					s.logger.Warn("recording resumable job failed", "key", key, "error", err)
 				}
 			}
 		}
+		job.trace.Phase("queue-wait")
+		job.enqueuedAt = time.Now()
 		if err := s.pool.submit(client, func() { s.runJob(job, entry) }); err != nil {
 			s.cache.Abandon(entry, err.Error())
 			s.mu.Lock()
@@ -518,13 +541,24 @@ func (s *Server) runJob(job *Job, entry *Entry) {
 	s.running++
 	s.mu.Unlock()
 
+	// The measured wait feeds both the exported distribution and the
+	// Retry-After estimator, so backpressure hints track what leaders
+	// actually experienced.
+	wait := time.Since(job.enqueuedAt)
+	s.obs.queueWait.ObserveDuration(wait)
+	s.backoff.observeWait(wait)
+	job.trace.Phase("run")
+
 	start := time.Now()
 	payload, err := s.runWithRetry(job)
-	s.backoff.observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.backoff.observe(elapsed)
+	s.obs.runSeconds.With(job.Experiment).ObserveDuration(elapsed)
 
 	if err == nil && s.store != nil {
+		job.trace.Phase("store-write")
 		if perr := s.store.Put(job.ResultKey, payload); perr != nil {
-			log.Printf("service: persisting result %s: %v", job.ResultKey, perr)
+			s.logger.Warn("persisting result failed", "key", job.ResultKey, "error", perr)
 		}
 		s.store.RemoveJob(job.ResultKey)
 	}
@@ -650,6 +684,16 @@ func (s *Server) finish(job *Job, err error, cacheHit bool) {
 		delete(s.jobs, s.terminal[0])
 		s.terminal = s.terminal[1:]
 	}
+	s.obs.jobSeconds.ObserveDuration(time.Since(job.submittedAt))
+	job.trace.Phase("done")
+	job.trace.Attr("state", string(job.State))
+	if job.Error != "" {
+		job.trace.Attr("error", job.Error)
+	}
+	if job.CacheHit {
+		job.trace.Attr("cache_hit", "true")
+	}
+	job.trace.Finish()
 	var point *Job
 	var doneTrack *sweepTrack
 	if job.SweepID != "" {
@@ -707,6 +751,10 @@ func (s *Server) clientCounters(client string) *ClientCounters {
 		return c
 	}
 	if len(s.clients) >= maxTrackedClients {
+		// The request is not lost — it aggregates under "~other" — but
+		// its client id is, so count the fold-ins where operators can
+		// see them (untracked_clients in both metrics formats).
+		s.untracked++
 		return &s.clientOverflow
 	}
 	c := &ClientCounters{}
@@ -751,6 +799,10 @@ type Metrics struct {
 		Resumed         uint64 `json:"resumed"`
 	} `json:"jobs"`
 	Clients map[string]ClientCounters `json:"clients,omitempty"`
+	// UntrackedClients counts requests folded into the "~other" cell
+	// because the per-client map hit its bound; omitted while zero so
+	// pre-existing payloads are byte-identical.
+	UntrackedClients uint64 `json:"untracked_clients,omitempty"`
 	Cache   CacheStats                `json:"cache"`
 	Store   *store.Stats              `json:"store,omitempty"`
 	Queue   QueueStatus               `json:"queue"`
@@ -817,6 +869,7 @@ func (s *Server) metrics() Metrics {
 			m.Clients["~other"] = s.clientOverflow
 		}
 	}
+	m.UntrackedClients = s.untracked
 	s.mu.Unlock()
 	m.Jobs.Shed = s.backoff.shedCount()
 	m.Cache = s.cache.Stats()
@@ -856,32 +909,36 @@ func (s *Server) metrics() Metrics {
 //	DELETE /v1/fleets/{name}        deregister a population
 //	GET  /v1/fleets/{name}/events   stream epoch/state/alert events as SSE
 //	GET  /v1/fleets/{name}/events.ndjson  same stream as NDJSON
+//	GET  /v1/jobs/{id}/trace        one job's lifecycle trace (admit → queue-wait → run → done)
+//	GET  /v1/debug/traces           recent spans by ?component= (job, store, scrub, fleet, alert)
 //	GET  /healthz                   liveness
 //	GET  /readyz                    readiness (degraded above the queue high-water mark)
-//	GET  /metrics                   job, client, cache, store and fleet counters
+//	GET  /metrics                   Prometheus text exposition; JSON with Accept: application/json
+//	GET  /metrics.json              job, client, cache, store and fleet counters as JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
-	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
-	mux.HandleFunc("GET /v1/sweeps/{id}/events.ndjson", s.handleSweepEventsNDJSON)
-	mux.HandleFunc("POST /v1/fleets", s.handleFleetRegister)
-	mux.HandleFunc("GET /v1/fleets", s.handleFleetList)
-	mux.HandleFunc("GET /v1/fleets/{name}", s.handleFleetGet)
-	mux.HandleFunc("DELETE /v1/fleets/{name}", s.handleFleetDelete)
-	mux.HandleFunc("GET /v1/fleets/{name}/events", s.handleFleetEvents)
-	mux.HandleFunc("GET /v1/fleets/{name}/events.ndjson", s.handleFleetEventsNDJSON)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.route(mux, "GET /v1/experiments", s.handleExperiments)
+	s.route(mux, "POST /v1/jobs", s.handleSubmit)
+	s.route(mux, "GET /v1/jobs", s.handleJobs)
+	s.route(mux, "GET /v1/jobs/{id}", s.handleJob)
+	s.route(mux, "GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.route(mux, "GET /v1/debug/traces", s.handleDebugTraces)
+	s.route(mux, "GET /v1/results/{key}", s.handleResult)
+	s.route(mux, "POST /v1/sweeps", s.handleSweep)
+	s.route(mux, "GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.route(mux, "GET /v1/sweeps/{id}/events.ndjson", s.handleSweepEventsNDJSON)
+	s.route(mux, "POST /v1/fleets", s.handleFleetRegister)
+	s.route(mux, "GET /v1/fleets", s.handleFleetList)
+	s.route(mux, "GET /v1/fleets/{name}", s.handleFleetGet)
+	s.route(mux, "DELETE /v1/fleets/{name}", s.handleFleetDelete)
+	s.route(mux, "GET /v1/fleets/{name}/events", s.handleFleetEvents)
+	s.route(mux, "GET /v1/fleets/{name}/events.ndjson", s.handleFleetEventsNDJSON)
+	s.route(mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.metrics())
-	})
+	s.route(mux, "GET /readyz", s.handleReady)
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /metrics.json", s.handleMetricsJSON)
 	return mux
 }
 

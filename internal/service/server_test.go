@@ -364,7 +364,7 @@ func TestBadRequests(t *testing.T) {
 	// A sweep containing one bad id must reject the whole grid before
 	// enqueuing anything: no orphan jobs for the valid points.
 	var m Metrics
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics.json", &m); code != http.StatusOK {
 		t.Fatal("metrics unavailable")
 	}
 	if m.Jobs.Submitted != 0 {
@@ -428,7 +428,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/jobs", `{"experiment":"mru"}`, &job)
 
 	var m Metrics
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics.json", &m); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
 	if m.Jobs.Submitted != 2 || m.Cache.Misses != 1 || m.Cache.Hits != 1 || m.Cache.Entries != 1 {

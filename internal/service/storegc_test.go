@@ -80,7 +80,7 @@ func TestReadyzStoreDegradedAndRecovers(t *testing.T) {
 
 	// The store section rides along in /metrics, budget included.
 	var m Metrics
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics.json", &m); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
 	if m.Store == nil || m.Store.BudgetBytes != 4096 || m.Store.BudgetRefusals == 0 {

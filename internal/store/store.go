@@ -25,13 +25,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"penelope/internal/obs"
 	"penelope/internal/store/vfs"
 )
 
@@ -134,6 +135,12 @@ type Config struct {
 	Retention time.Duration
 	// Clock overrides time.Now for retention tests.
 	Clock func() time.Time
+	// Instruments, when set, records operation latency/size histograms
+	// and I/O spans. Nil costs nothing.
+	Instruments *Instruments
+	// Logger receives the store's structured log records; nil uses the
+	// process default tagged with component=store.
+	Logger *slog.Logger
 }
 
 // entry is one LRU-tracked resident result.
@@ -159,6 +166,8 @@ type Store struct {
 	cfg     Config
 	fs      vfs.FS
 	now     func() time.Time
+	ins     *Instruments
+	logger  *slog.Logger
 	dir     string
 	results string
 	ckpts   string
@@ -211,6 +220,8 @@ func OpenConfig(cfg Config) (*Store, error) {
 		cfg:     cfg,
 		fs:      cfg.FS,
 		now:     cfg.Clock,
+		ins:     cfg.Instruments,
+		logger:  cfg.Logger,
 		dir:     cfg.Dir,
 		results: filepath.Join(cfg.Dir, "results"),
 		ckpts:   filepath.Join(cfg.Dir, "checkpoints"),
@@ -223,6 +234,9 @@ func OpenConfig(cfg Config) (*Store, error) {
 	}
 	if s.now == nil {
 		s.now = time.Now
+	}
+	if s.logger == nil {
+		s.logger = obs.Logger("store")
 	}
 	for _, d := range []string{s.results, s.ckpts, s.fleets} {
 		if err := s.fs.MkdirAll(d, 0o755); err != nil {
@@ -339,10 +353,12 @@ func ValidKey(key string) bool {
 // Put first evicts least-recently-used results to make room and
 // refuses with ErrBudget when it cannot — shedding the result cache
 // before any checkpoint write is ever at risk.
-func (s *Store) Put(key string, payload []byte) error {
+func (s *Store) Put(key string, payload []byte) (err error) {
 	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid result key %q", key)
 	}
+	start := time.Now()
+	defer func() { s.ins.observePut(key, start, len(payload), err) }()
 	size := int64(len(payload))
 	s.mu.Lock()
 	if s.cfg.Budget > 0 {
@@ -358,7 +374,8 @@ func (s *Store) Put(key string, payload []byte) error {
 			s.degraded = true
 			if !s.loggedBudget {
 				s.loggedBudget = true
-				log.Printf("store: shedding result writes: %d payload bytes will not fit the %d-byte budget (logged once)", size, s.cfg.Budget)
+				s.logger.Warn("shedding result writes: payload will not fit the budget (logged once)",
+					"key", key, "bytes", size, "budget_bytes", s.cfg.Budget)
 			}
 			s.mu.Unlock()
 			return fmt.Errorf("store: %d-byte result %s over budget %d: %w", size, key, s.cfg.Budget, ErrBudget)
@@ -403,8 +420,10 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	s.mu.Unlock()
+	start := time.Now()
 	path := filepath.Join(s.results, key+resultExt)
 	payload, err := s.readResultFile(path)
+	s.ins.observeGet(key, start, len(payload), err == nil)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.index[key]
@@ -518,7 +537,9 @@ type ScrubReport struct {
 // retention policy and disk budget. The background scrubber calls it on
 // an interval; tests and operators can call it directly.
 func (s *Store) Scrub() ScrubReport {
+	start := time.Now()
 	var rep ScrubReport
+	defer func() { s.ins.observeScrub(start, rep) }()
 	s.mu.Lock()
 	expiredBefore := s.expired
 	s.enforceRetentionLocked()
@@ -843,7 +864,7 @@ func (s *Store) noteDirsyncLocked(synced bool, writeErr error) {
 	s.dirsyncFail++
 	if !s.loggedDirsync {
 		s.loggedDirsync = true
-		log.Printf("store: directory sync failed after rename; rename durability uncertain (counted; logged once)")
+		s.logger.Warn("directory sync failed after rename; rename durability uncertain (counted; logged once)")
 	}
 }
 
@@ -854,12 +875,12 @@ func (s *Store) noteDirsyncLocked(synced bool, writeErr error) {
 // hold s.mu.
 func (s *Store) quarantineLocked(path string, cause error) {
 	s.quarant++
-	log.Printf("store: quarantining %s: %v", path, cause)
+	s.logger.Warn("quarantining corrupt file", "path", path, "cause", cause)
 	if err := s.fs.Rename(path, path+".quarantine"); err != nil {
 		s.quarantFail++
 		if !s.loggedQuarFail {
 			s.loggedQuarFail = true
-			log.Printf("store: quarantine rename failed (counted; logged once): %v", err)
+			s.logger.Error("quarantine rename failed (counted; logged once)", "error", err)
 		}
 	}
 }

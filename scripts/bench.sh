@@ -13,7 +13,10 @@
 # chip-epochs/s over a 100k-chip fleet, BenchmarkLifetimeTrajectory full
 # 7-year runs) and the continuous-operations event bus
 # (BenchmarkBusPublish events/s fanned out to saturated subscribers,
-# i.e. the worst-case drop-and-count path of the streaming tier).
+# i.e. the worst-case drop-and-count path of the streaming tier) and the
+# observability layer (BenchmarkObsOverhead: ns per counter inc,
+# histogram observe, trace record and nil-instrument call — the budget
+# every instrumented hot path pays).
 #
 # Usage: scripts/bench.sh [extra go test args...]
 #   e.g. scripts/bench.sh -benchtime 2s -count 3
