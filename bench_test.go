@@ -22,6 +22,7 @@ import (
 	"penelope/internal/metric"
 	"penelope/internal/nbti"
 	"penelope/internal/obs"
+	"penelope/internal/obs/tsdb"
 	"penelope/internal/pipeline"
 	"penelope/internal/trace"
 )
@@ -541,6 +542,51 @@ func BenchmarkObsOverhead(b *testing.B) {
 			t.Phase("noop")
 		}
 	})
+}
+
+// BenchmarkTsdbSample prices one metric-history sampling pass over a
+// representative registry (counter, gauge, histogram, two-cell vec) and
+// pins the steady-state path at zero allocations — the sampler runs
+// forever on a 10s cadence, so any per-tick garbage would accumulate
+// for the life of the server.
+func BenchmarkTsdbSample(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_events_total", "bench")
+	gauge := reg.Gauge("bench_depth", "bench")
+	hist := reg.Histogram("bench_seconds", "bench", nil)
+	vec := reg.HistogramVec("bench_vec_seconds", "bench", "cell", nil)
+	vec.With("a").Observe(0.1)
+	vec.With("b").Observe(0.2)
+
+	db, err := tsdb.Open(tsdb.Config{Registry: reg, Interval: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	now := time.Now()
+	step := func(i int) {
+		ctr.Add(3)
+		gauge.Set(float64(i % 64))
+		hist.Observe(float64(i%100) * 1e-3)
+		db.Sample(now.Add(time.Duration(i) * 10 * time.Second))
+	}
+	// Warm the bindings and the rings past the first fold windows.
+	for i := 0; i < 256; i++ {
+		step(i)
+	}
+	iter := 256
+	if allocs := testing.AllocsPerRun(100, func() {
+		step(iter)
+		iter++
+	}); allocs != 0 {
+		b.Fatalf("steady-state Sample allocates %.1f times per tick, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(iter + i)
+	}
 }
 
 func benchName(prefix string, v int) string {

@@ -31,6 +31,12 @@
 // their threshold and wearout-attack alerts. GET /metrics serves
 // Prometheus text (JSON at /metrics.json) and -pprof serves
 // net/http/pprof on its own loopback listener, off by default.
+// Every metric family is also sampled into an embedded time-series
+// store (-history-interval, default 10s) queryable over GET
+// /v1/metrics/query and rendered live on GET /dashboard; with -data-dir
+// the history persists across restarts for -history-retention.
+// -slo-config declares burn-rate/threshold/slope objectives evaluated
+// against that history; breaches fire through the same alert pipeline.
 // Invoking penelope with flags but no subcommand behaves like `run`.
 package main
 
@@ -197,6 +203,10 @@ func serveCmd(args []string) {
 		fleetTick    = fs.Duration("fleet-tick", 0, "default interval between fleet epoch ticks (default 30s)")
 		alertWebhook = fs.String("alert-webhook", "", "POST fired fleet alerts to this URL (retries, circuit breaker, dead-letter queue)")
 
+		historyInterval  = fs.Duration("history-interval", 0, "metric-history sampling cadence behind /v1/metrics/query and /dashboard (default 10s; negative disables history)")
+		historyRetention = fs.Duration("history-retention", 0, "how long persisted metric-history blocks are kept under -data-dir (default 168h)")
+		sloConfig        = fs.String("slo-config", "", "JSON file of SLO rules evaluated against the metric history ({\"rules\": [...]} or a bare array); breaches alert like fleet alerts")
+
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. 127.0.0.1:6060 (default off; keep it loopback — the profiler is unauthenticated)")
 	)
 	fs.Parse(args)
@@ -207,11 +217,17 @@ func serveCmd(args []string) {
 		os.Exit(1)
 	}
 
+	sloRules, err := loadSLOConfig(*sloConfig)
+	if err != nil {
+		fatal("-slo-config", err)
+	}
 	srv, err := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		DataDir: *dataDir, Rate: *rate, Burst: *burst, JobTimeout: *jobTimeout,
 		StoreBudget: *storeBudget, StoreRetention: *storeRetention, ScrubInterval: *scrubInterval,
 		FleetTick: *fleetTick, AlertWebhook: *alertWebhook,
+		HistoryInterval: *historyInterval, HistoryRetention: *historyRetention,
+		SLORules: sloRules,
 	})
 	if err != nil {
 		fatal("starting service", err)
@@ -271,6 +287,29 @@ func serveCmd(args []string) {
 		fatal("serving", err)
 	}
 	srv.Close()
+}
+
+// loadSLOConfig reads a -slo-config file: {"rules": [...]} or a bare
+// array of rules. The rules themselves are validated by the service.
+func loadSLOConfig(path string) ([]fleetops.SLORule, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rules []fleetops.SLORule
+	var wrapped struct {
+		Rules []fleetops.SLORule `json:"rules"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err == nil && wrapped.Rules != nil {
+		return wrapped.Rules, nil
+	}
+	if err := json.Unmarshal(data, &rules); err != nil {
+		return nil, fmt.Errorf("want {\"rules\": [...]} or a bare array: %w", err)
+	}
+	return rules, nil
 }
 
 // registerFleetConfig schedules every registration in a -fleet-config

@@ -322,6 +322,43 @@ func (s *Scheduler) Stats() Stats {
 	return st
 }
 
+// GuardbandSummary is the fleet-wide aging picture: the worst value of
+// each guardband statistic across every population with at least one
+// completed epoch. Fleets reports how many populations contributed.
+type GuardbandSummary struct {
+	Fleets           int     `json:"fleets"`
+	P99Guardband     float64 `json:"p99_guardband"`
+	MeanGuardband    float64 `json:"mean_guardband"`
+	ViolatedFraction float64 `json:"violated_fraction"`
+}
+
+// Guardband aggregates the latest epoch rows into the worst-case
+// summary the guardband gauges (and the SLO slope rules watching them)
+// export. Populations that have not completed an epoch yet contribute
+// nothing.
+func (s *Scheduler) Guardband() GuardbandSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out GuardbandSummary
+	for _, p := range s.pops {
+		if p.removed || p.lastStats == nil {
+			continue
+		}
+		row := p.lastStats
+		out.Fleets++
+		if row.P99Guardband > out.P99Guardband {
+			out.P99Guardband = row.P99Guardband
+		}
+		if row.MeanGuardband > out.MeanGuardband {
+			out.MeanGuardband = row.MeanGuardband
+		}
+		if row.ViolatedFraction > out.ViolatedFraction {
+			out.ViolatedFraction = row.ViolatedFraction
+		}
+	}
+	return out
+}
+
 func (s *Scheduler) statusOf(p *population) Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, BuildInfo{Version: "v1.2.3", GoVersion: "go1.24.0", Revision: "abc123"})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `penelope_build_info{goversion="go1.24.0",revision="abc123",version="v1.2.3"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "# TYPE penelope_build_info gauge\n") {
+		t.Fatalf("exposition missing TYPE line:\n%s", out)
+	}
+}
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" {
+		t.Fatal("ReadBuildInfo returned empty GoVersion")
+	}
+	if bi.Version == "" || bi.Revision == "" {
+		t.Fatalf("ReadBuildInfo left fields empty: %+v", bi)
+	}
+}
+
+// TestConstLabelEscaping pins the exposition escaping for label values
+// carrying backslashes, double quotes and newlines.
+func TestConstLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeConst("escape_info", "tricky values", []Label{
+		{Name: "backslash", Value: `a\b`},
+		{Name: "quote", Value: `say "hi"`},
+		{Name: "newline", Value: "line1\nline2"},
+	}, 1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `escape_info{backslash="a\\b",quote="say \"hi\"",newline="line1\nline2"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped sample line wrong.\nwant: %s got:\n%s", want, out)
+	}
+}
+
+func TestGaugeConstRejectsBadLabelName(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GaugeConst accepted an invalid label name")
+		}
+	}()
+	r.GaugeConst("x_info", "", []Label{{Name: "bad-name", Value: "v"}}, 1)
+}

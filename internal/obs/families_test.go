@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFamiliesWalker(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("b_total", "counter")
+	g := r.Gauge("a_gauge", "gauge")
+	h := r.Histogram("c_seconds", "hist", []float64{1, 2})
+	v := r.HistogramVec("d_seconds", "vec", "route", []float64{1, 2})
+	c.Add(7)
+	g.Set(2.5)
+	h.Observe(1)
+	v.With("x").Observe(3)
+
+	var names []string
+	byName := map[string]FamilyInfo{}
+	r.Families(func(f FamilyInfo) {
+		names = append(names, f.Name)
+		byName[f.Name] = f
+	})
+	want := []string{"a_gauge", "b_total", "c_seconds", "d_seconds"}
+	if len(names) != len(want) {
+		t.Fatalf("walked %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("walked %v, want %v (name order)", names, want)
+		}
+	}
+	if got := byName["b_total"].ReadCounter(); got != 7 {
+		t.Fatalf("counter accessor = %d, want 7", got)
+	}
+	if got := byName["a_gauge"].ReadGauge(); got != 2.5 {
+		t.Fatalf("gauge accessor = %v, want 2.5", got)
+	}
+	if byName["c_seconds"].Hist != h {
+		t.Fatal("plain histogram not surfaced")
+	}
+	fi := byName["d_seconds"]
+	if fi.Vec != v || fi.VecLabel != "route" {
+		t.Fatalf("vec family = %+v, want vec with label route", fi)
+	}
+}
+
+func TestRegistryVersionMoves(t *testing.T) {
+	r := NewRegistry()
+	v0 := r.Version()
+	r.Counter("a_total", "")
+	if r.Version() == v0 {
+		t.Fatal("Version did not move on registration")
+	}
+	vec := r.HistogramVec("b_seconds", "", "l", nil)
+	v1 := r.Version()
+	vec.With("cell")
+	if r.Version() == v1 {
+		t.Fatal("Version did not move when a vec gained a cell")
+	}
+	v2 := r.Version()
+	vec.With("cell") // existing cell: no change
+	if r.Version() != v2 {
+		t.Fatal("Version moved on an existing cell lookup")
+	}
+}
+
+func TestHistogramReadInto(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	dst := make([]uint64, len(h.Bounds())+1)
+	count, sum := h.ReadInto(dst)
+	if count != 3 || sum != 101 {
+		t.Fatalf("ReadInto = count %d sum %v, want 3, 101", count, sum)
+	}
+	if dst[0] != 1 || dst[1] != 1 || dst[2] != 1 {
+		t.Fatalf("ReadInto buckets = %v, want [1 1 1]", dst)
+	}
+	snap := h.Snapshot()
+	for i := range dst {
+		if dst[i] != snap.Counts[i] {
+			t.Fatalf("ReadInto disagrees with Snapshot at %d: %v vs %v", i, dst, snap.Counts)
+		}
+	}
+}
+
+func TestVecEntriesSortedAndReused(t *testing.T) {
+	v := (&Registry{families: map[string]*family{}}).HistogramVec("v_seconds", "", "l", nil)
+	v.With("b").ObserveDuration(time.Millisecond)
+	v.With("a").ObserveDuration(time.Millisecond)
+	scratch := make([]VecEntry, 0, 8)
+	got := v.Entries(scratch[:0])
+	if len(got) != 2 || got[0].Value != "a" || got[1].Value != "b" {
+		t.Fatalf("Entries = %+v, want sorted [a b]", got)
+	}
+	if got[0].Hist == nil || got[1].Hist == nil {
+		t.Fatal("Entries returned nil histograms")
+	}
+}

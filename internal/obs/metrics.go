@@ -135,6 +135,31 @@ type HistogramSnapshot struct {
 	Sum    float64
 }
 
+// Bounds returns the sorted inclusive upper bounds. The slice is the
+// histogram's own — callers must not mutate it.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// ReadInto copies the per-bucket (non-cumulative) counts into dst —
+// which must have len(Bounds())+1 slots — and returns the total count
+// and sum: Snapshot without the allocation, for samplers on a cadence.
+func (h *Histogram) ReadInto(dst []uint64) (count uint64, sum float64) {
+	if h == nil {
+		return 0, 0
+	}
+	sum = math.Float64frombits(h.sumBits.Load())
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		dst[i] = c
+		count += c
+	}
+	return count, sum
+}
+
 // Snapshot copies the histogram state. Concurrent Observe calls may or
 // may not be included; counts and sum are each individually consistent.
 func (h *Histogram) Snapshot() HistogramSnapshot {
@@ -186,6 +211,7 @@ const maxLabelValues = 64
 type HistogramVec struct {
 	label  string
 	bounds []float64
+	ver    *atomic.Uint64 // owning registry's version; bumped on new cells
 
 	mu   sync.Mutex
 	byLV map[string]*Histogram
@@ -211,7 +237,33 @@ func (v *HistogramVec) With(labelValue string) *Histogram {
 	}
 	h := NewHistogram(v.bounds)
 	v.byLV[labelValue] = h
+	if v.ver != nil {
+		v.ver.Add(1)
+	}
 	return h
+}
+
+// VecEntry is one (label value, histogram) cell of a HistogramVec.
+type VecEntry struct {
+	Value string
+	Hist  *Histogram
+}
+
+// Entries appends one entry per label value, sorted by value, to dst
+// and returns it. Callers reuse dst across calls to avoid allocating.
+func (v *HistogramVec) Entries(dst []VecEntry) []VecEntry {
+	if v == nil {
+		return dst
+	}
+	v.mu.Lock()
+	start := len(dst)
+	for lv, h := range v.byLV {
+		dst = append(dst, VecEntry{Value: lv, Hist: h})
+	}
+	v.mu.Unlock()
+	s := dst[start:]
+	sort.Slice(s, func(i, j int) bool { return s[i].Value < s[j].Value })
+	return dst
 }
 
 // snapshot returns the label values in sorted order with their
@@ -244,6 +296,7 @@ const (
 type family struct {
 	name, help string
 	kind       kind
+	labels     []Label // constant labels (GaugeConst); nil for everything else
 
 	counter   *Counter
 	counterFn func() uint64
@@ -259,6 +312,10 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	// version moves whenever the family set — or any vec's label-value
+	// set — changes, so samplers can cache per-family bindings and
+	// rebuild them only when the registry actually grew.
+	version atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -294,7 +351,14 @@ func (r *Registry) register(f *family) {
 		panic("obs: duplicate metric " + f.name)
 	}
 	r.families[f.name] = f
+	r.version.Add(1)
 }
+
+// Version is the registry's change counter: it moves when a family is
+// registered or a vec gains a label value. Samplers snapshot it, cache
+// their bindings, and rebuild only when it moves — the steady state
+// allocates nothing.
+func (r *Registry) Version() uint64 { return r.version.Load() }
 
 // Counter registers and returns a new counter.
 func (r *Registry) Counter(name, help string) *Counter {
@@ -342,7 +406,7 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 	if !validName(label) {
 		panic("obs: invalid label name " + label)
 	}
-	v := &HistogramVec{label: label, bounds: bounds, byLV: make(map[string]*Histogram)}
+	v := &HistogramVec{label: label, bounds: bounds, ver: &r.version, byLV: make(map[string]*Histogram)}
 	r.register(&family{name: name, help: help, kind: kindHistogram, vec: v})
 	return v
 }

@@ -26,6 +26,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				v = f.counterFn()
 			}
 			bw.WriteString(f.name)
+			writeConstLabels(bw, f.labels)
 			bw.WriteByte(' ')
 			bw.WriteString(strconv.FormatUint(v, 10))
 			bw.WriteByte('\n')
@@ -37,6 +38,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				v = f.gaugeFn()
 			}
 			bw.WriteString(f.name)
+			writeConstLabels(bw, f.labels)
 			bw.WriteByte(' ')
 			bw.WriteString(formatFloat(v))
 			bw.WriteByte('\n')
@@ -128,6 +130,26 @@ func writeLabels(bw *bufio.Writer, label, labelValue, le string) {
 	if le != "" {
 		bw.WriteString(`le="`)
 		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// writeConstLabels renders a {name="value",...} block for a family's
+// constant labels (penelope_build_info); values get full exposition
+// escaping.
+func writeConstLabels(bw *bufio.Writer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Name)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
 		bw.WriteByte('"')
 	}
 	bw.WriteByte('}')

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile estimates the q-th quantile (0 < q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside
+// the containing bucket — the same estimator Prometheus's
+// histogram_quantile applies to the exposition buckets, so the server's
+// own percentiles and a scraping Prometheus agree. An empty histogram
+// (or NaN q) reports NaN; values landing in the +Inf overflow bucket
+// report the highest finite bound, which is the best upper estimate the
+// bucket layout can give.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		return math.Inf(-1)
+	}
+	if q > 1 {
+		return math.Inf(1)
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		prev := cum
+		cum += s.Counts[i]
+		if s.Counts[i] == 0 || float64(cum) < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(s.Counts[i])
+		return lower + (bound-lower)*frac
+	}
+	// The rank lands in the +Inf overflow bucket.
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return math.NaN()
+}
+
+// HistogramSummary is the JSON-facing digest of one histogram cell:
+// count, sum and interpolated p50/p95/p99, so consumers stop re-deriving
+// percentiles from raw buckets by hand. Percentiles of an empty cell
+// are 0 (NaN is not JSON-encodable and an empty distribution has no
+// meaningful percentile anyway).
+type HistogramSummary struct {
+	Name  string  `json:"name"`
+	Label string  `json:"label,omitempty"`
+	Value string  `json:"value,omitempty"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// summarize digests one snapshot into a HistogramSummary.
+func summarize(name, label, value string, s HistogramSnapshot) HistogramSummary {
+	h := HistogramSummary{Name: name, Label: label, Value: value, Count: s.Count, Sum: s.Sum}
+	if s.Count > 0 {
+		h.P50 = s.Quantile(0.50)
+		h.P95 = s.Quantile(0.95)
+		h.P99 = s.Quantile(0.99)
+	}
+	return h
+}
+
+// HistogramSummaries digests every registered histogram family — vec
+// cells flattened, ordered by family name then label value — for the
+// JSON metrics payload.
+func (r *Registry) HistogramSummaries() []HistogramSummary {
+	var out []HistogramSummary
+	for _, f := range r.sorted() {
+		if f.kind != kindHistogram {
+			continue
+		}
+		switch {
+		case f.hist != nil:
+			out = append(out, summarize(f.name, "", "", f.hist.Snapshot()))
+		case f.vec != nil:
+			values, snaps := f.vec.snapshot()
+			for i, lv := range values {
+				out = append(out, summarize(f.name, f.vec.label, lv, snaps[i]))
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 10 observations uniformly in (0,1]: every quantile interpolates
+	// inside the first bucket, whose lower edge is 0.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 0.5 {
+		t.Fatalf("p50 of first-bucket mass = %v, want 0.5 (interpolated)", got)
+	}
+	if got := s.Quantile(1.0); got != 1.0 {
+		t.Fatalf("p100 of first-bucket mass = %v, want the bucket bound 1", got)
+	}
+
+	// Mass split across buckets: 5 in (1,2], 5 in (2,4]. The median sits
+	// exactly at the shared edge, p75 halfway into the (2,4] bucket.
+	h2 := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 5; i++ {
+		h2.Observe(1.5)
+		h2.Observe(3)
+	}
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := s2.Quantile(0.75); got != 3 {
+		t.Fatalf("p75 = %v, want 3", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("quantile of empty histogram = %v, want NaN", got)
+	}
+	// Overflow-bucket mass reports the highest finite bound.
+	h.Observe(100)
+	if got := h.Snapshot().Quantile(0.99); got != 2 {
+		t.Fatalf("quantile of overflow mass = %v, want highest bound 2", got)
+	}
+	if got := h.Snapshot().Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("quantile(NaN) = %v, want NaN", got)
+	}
+	if got := h.Snapshot().Quantile(-0.1); !math.IsInf(got, -1) {
+		t.Fatalf("quantile(-0.1) = %v, want -Inf", got)
+	}
+	if got := h.Snapshot().Quantile(1.5); !math.IsInf(got, 1) {
+		t.Fatalf("quantile(1.5) = %v, want +Inf", got)
+	}
+}
+
+func TestHistogramSummaries(t *testing.T) {
+	r := NewRegistry()
+	plain := r.Histogram("zz_plain_seconds", "plain", []float64{1, 2, 4})
+	vec := r.HistogramVec("aa_vec_seconds", "vec", "route", []float64{1, 2, 4})
+	r.Counter("a_counter_total", "not a histogram")
+	plain.Observe(1.5)
+	plain.Observe(1.5)
+	vec.With("b").Observe(0.5)
+	vec.With("a").Observe(3)
+
+	sums := r.HistogramSummaries()
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries, want 3: %+v", len(sums), sums)
+	}
+	// Sorted by name then label value: aa_vec{a}, aa_vec{b}, zz_plain.
+	if sums[0].Name != "aa_vec_seconds" || sums[0].Value != "a" || sums[0].Label != "route" {
+		t.Fatalf("summary[0] = %+v, want aa_vec_seconds{route=a}", sums[0])
+	}
+	if sums[1].Value != "b" {
+		t.Fatalf("summary[1] = %+v, want label value b", sums[1])
+	}
+	if sums[2].Name != "zz_plain_seconds" || sums[2].Count != 2 || sums[2].Sum != 3 {
+		t.Fatalf("summary[2] = %+v, want zz_plain_seconds count=2 sum=3", sums[2])
+	}
+	if sums[2].P50 != 1.5 { // rank 1 of 2 in bucket (1,2]: 1 + (2-1)*(1/2)
+		t.Fatalf("plain p50 = %v, want 1.5", sums[2].P50)
+	}
+	// Empty cells must summarize to zeros, not NaN (JSON encodability).
+	r2 := NewRegistry()
+	r2.Histogram("empty_seconds", "", nil)
+	es := r2.HistogramSummaries()
+	if len(es) != 1 || es[0].P99 != 0 {
+		t.Fatalf("empty histogram summary = %+v, want zero percentiles", es)
+	}
+}

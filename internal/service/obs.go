@@ -21,6 +21,11 @@ import (
 // Registry and Tracer — nothing is global — so tests and multi-server
 // processes never collide.
 
+// httpLatencyFamily is the per-route request histogram's family name,
+// named once because the JSON payload excludes it (scrapes observe
+// themselves; see Metrics.Histograms).
+const httpLatencyFamily = "penelope_http_request_seconds"
+
 // serverObs bundles the service tier's own instruments. The registry
 // also carries the store and fleetops families (registered by their
 // NewInstruments constructors) and mirrors of the JSON counters via
@@ -68,7 +73,7 @@ func (s *Server) initObs() {
 	o := &serverObs{
 		reg:    reg,
 		tracer: obs.NewTracer(),
-		httpSeconds: reg.HistogramVec("penelope_http_request_seconds",
+		httpSeconds: reg.HistogramVec(httpLatencyFamily,
 			"HTTP request latency by route pattern.", "route", nil),
 		jobSeconds: reg.Histogram("penelope_job_seconds",
 			"Job latency from submission to terminal state, cache hits included.", nil),
@@ -119,6 +124,13 @@ func (s *Server) initObs() {
 		lockedGauge(func() float64 { return float64(s.queued) }))
 	reg.GaugeFunc("penelope_jobs_running", "Jobs currently running.",
 		lockedGauge(func() float64 { return float64(s.running) }))
+
+	obs.RegisterBuildInfo(reg, *s.cfg.BuildInfo)
+	reg.CounterFunc("penelope_uptime_seconds", "Whole seconds since the server started.",
+		func() uint64 { return uint64(time.Since(s.started).Seconds()) })
+	reg.GaugeFunc("penelope_shed_retry_after_seconds",
+		"Retry-After the shed estimator would attach to a rejected submission right now.",
+		func() float64 { return s.backoff.retryAfter(s.pool.queueDepth(), s.cfg.Workers).Seconds() })
 
 	reg.GaugeFunc("penelope_queue_depth", "Fair-pool queued tasks.",
 		func() float64 { return float64(s.pool.queueDepth()) })
@@ -191,6 +203,14 @@ func (s *Server) registerFleetMetrics() {
 		func() uint64 { return sched().WatchdogTimeouts })
 	reg.CounterFunc("penelope_fleet_checkpoint_failures_total", "Fleet checkpoint writes refused or failed.",
 		func() uint64 { return sched().CheckpointFailures })
+
+	gb := cached(statsCacheTTL, s.sched.Guardband)
+	reg.GaugeFunc("penelope_fleet_p99_guardband", "Worst p99 guardband across scheduled populations.",
+		func() float64 { return gb().P99Guardband })
+	reg.GaugeFunc("penelope_fleet_mean_guardband", "Worst mean guardband across scheduled populations.",
+		func() float64 { return gb().MeanGuardband })
+	reg.GaugeFunc("penelope_fleet_violated_fraction", "Worst guardband-violation fraction across scheduled populations.",
+		func() float64 { return gb().ViolatedFraction })
 
 	bus := cached(statsCacheTTL, s.bus.Stats)
 	reg.GaugeFunc("penelope_bus_topics", "Event bus topics.",

@@ -72,13 +72,24 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		t.Error("in-memory server exposes store families")
 	}
 
-	code, viaAccept, ctype := get(t, ts.URL+"/metrics", map[string]string{"Accept": "application/json"})
-	if code != http.StatusOK || ctype != "application/json" {
-		t.Fatalf("GET /metrics (Accept json): status %d, Content-Type %q", code, ctype)
-	}
-	code, viaPath, _ := get(t, ts.URL+"/metrics.json", nil)
-	if code != http.StatusOK {
-		t.Fatalf("GET /metrics.json: status %d", code)
+	// The payload carries uptime in whole seconds, so a pair of fetches
+	// straddling a second boundary can legitimately differ; retry the
+	// byte comparison a couple of times before calling it a format bug.
+	var viaAccept, viaPath []byte
+	for attempt := 0; attempt < 3; attempt++ {
+		var code int
+		var ctype string
+		code, viaAccept, ctype = get(t, ts.URL+"/metrics", map[string]string{"Accept": "application/json"})
+		if code != http.StatusOK || ctype != "application/json" {
+			t.Fatalf("GET /metrics (Accept json): status %d, Content-Type %q", code, ctype)
+		}
+		code, viaPath, _ = get(t, ts.URL+"/metrics.json", nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET /metrics.json: status %d", code)
+		}
+		if string(viaAccept) == string(viaPath) {
+			break
+		}
 	}
 	if string(viaAccept) != string(viaPath) {
 		t.Fatalf("Accept-negotiated JSON differs from /metrics.json:\n%s\nvs\n%s", viaAccept, viaPath)

@@ -20,6 +20,7 @@ import (
 	"penelope/internal/experiments"
 	"penelope/internal/fleetops"
 	"penelope/internal/obs"
+	"penelope/internal/obs/tsdb"
 	"penelope/internal/store"
 )
 
@@ -142,6 +143,25 @@ type Config struct {
 	// AlertSeed drives the delivery pipeline's deterministic retry
 	// jitter.
 	AlertSeed uint64
+
+	// HistoryInterval is the metric-history sampling cadence: every
+	// interval the registry is sampled into the embedded time-series
+	// store behind /v1/metrics/query and /dashboard (default 10s;
+	// negative disables history entirely).
+	HistoryInterval time.Duration
+	// HistoryRetention bounds how far back persisted history blocks are
+	// kept when DataDir is set (default 168h — one week).
+	HistoryRetention time.Duration
+	// HistoryBudget bounds history block bytes on disk (0 = unbounded).
+	HistoryBudget int64
+	// SLORules are declarative objectives evaluated against the metric
+	// history on every sampling tick; breaches fire through the event
+	// bus and the alert delivery pipeline like fleet alerts.
+	SLORules []fleetops.SLORule
+	// BuildInfo overrides the binary identity exposed as
+	// penelope_build_info and in the JSON payload (tests pin it for
+	// golden stability). Nil reads the embedded build metadata.
+	BuildInfo *obs.BuildInfo
 }
 
 // Server is the experiment service: it validates requests against the
@@ -163,6 +183,11 @@ type Server struct {
 	sched     *fleetops.Scheduler
 	alerter   *fleetops.Alerter
 	deliverer *fleetops.Deliverer
+
+	history   *tsdb.DB
+	slo       *fleetops.SLOEngine
+	started   time.Time
+	historyWG sync.WaitGroup
 
 	baseCtx   context.Context
 	cancelCtx context.CancelFunc
@@ -246,9 +271,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SweepRetention <= 0 {
 		cfg.SweepRetention = 5 * time.Minute
 	}
+	if cfg.HistoryInterval == 0 {
+		cfg.HistoryInterval = 10 * time.Second
+	}
+	if cfg.HistoryRetention <= 0 {
+		cfg.HistoryRetention = 168 * time.Hour
+	}
+	if cfg.BuildInfo == nil {
+		bi := obs.ReadBuildInfo()
+		cfg.BuildInfo = &bi
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
+		started:   time.Now(),
 		cache:     NewCache(),
 		pool:      newFairPool(cfg.Workers, cfg.QueueDepth),
 		limiter:   newRateLimiter(cfg.Rate, cfg.Burst),
@@ -281,6 +317,10 @@ func New(cfg Config) (*Server, error) {
 		s.cfg.Runner = s.registryRunner
 	}
 	s.initFleetops()
+	if err := s.initHistory(); err != nil {
+		s.Close()
+		return nil, err
+	}
 	s.recoverInterrupted()
 	s.recoverFleets()
 	return s, nil
@@ -427,6 +467,10 @@ func (s *Server) Close() {
 		s.pool.close()
 		if s.deliverer != nil {
 			s.deliverer.Close()
+		}
+		s.historyWG.Wait()
+		if s.history != nil {
+			s.history.Close()
 		}
 		if s.store != nil {
 			s.store.Close()
@@ -802,12 +846,29 @@ type Metrics struct {
 	// UntrackedClients counts requests folded into the "~other" cell
 	// because the per-client map hit its bound; omitted while zero so
 	// pre-existing payloads are byte-identical.
-	UntrackedClients uint64 `json:"untracked_clients,omitempty"`
-	Cache   CacheStats                `json:"cache"`
-	Store   *store.Stats              `json:"store,omitempty"`
-	Queue   QueueStatus               `json:"queue"`
-	Workers int                       `json:"workers"`
-	Fleet   FleetMetrics              `json:"fleet"`
+	UntrackedClients uint64       `json:"untracked_clients,omitempty"`
+	Cache            CacheStats   `json:"cache"`
+	Store            *store.Stats `json:"store,omitempty"`
+	Queue            QueueStatus  `json:"queue"`
+	Workers          int          `json:"workers"`
+	Fleet            FleetMetrics `json:"fleet"`
+	// Build identifies the running binary; UptimeSeconds is whole
+	// seconds since the server object was built.
+	Build         obs.BuildInfo `json:"build"`
+	UptimeSeconds uint64        `json:"uptime_seconds"`
+	// Histograms digests every histogram family into count/sum and
+	// interpolated p50/p95/p99. The HTTP latency family is deliberately
+	// excluded: scrapes observe themselves, so including it would make
+	// two consecutive scrapes of an otherwise idle server differ —
+	// byte-stability of this payload is a pinned contract. HTTP
+	// latencies remain in the Prometheus exposition and the history.
+	Histograms []obs.HistogramSummary `json:"histograms,omitempty"`
+	// History is the embedded time-series store's bookkeeping, present
+	// whenever metric history is enabled.
+	History *tsdb.Stats `json:"history,omitempty"`
+	// SLO summarizes objective evaluation, present when rules are
+	// configured.
+	SLO *fleetops.SLOStats `json:"slo,omitempty"`
 }
 
 // FleetMetrics is the continuous-operations section of /metrics: the
@@ -890,6 +951,22 @@ func (s *Server) metrics() Metrics {
 		d := s.deliverer.Stats()
 		m.Fleet.Delivery = &d
 	}
+	m.Build = *s.cfg.BuildInfo
+	m.UptimeSeconds = uint64(time.Since(s.started).Seconds())
+	for _, h := range s.obs.reg.HistogramSummaries() {
+		if h.Name == httpLatencyFamily {
+			continue
+		}
+		m.Histograms = append(m.Histograms, h)
+	}
+	if s.history != nil {
+		hs := s.history.Stats()
+		m.History = &hs
+	}
+	if s.slo != nil {
+		st := s.slo.Stats()
+		m.SLO = &st
+	}
 	return m
 }
 
@@ -915,6 +992,10 @@ func (s *Server) metrics() Metrics {
 //	GET  /readyz                    readiness (degraded above the queue high-water mark)
 //	GET  /metrics                   Prometheus text exposition; JSON with Accept: application/json
 //	GET  /metrics.json              job, client, cache, store and fleet counters as JSON
+//	GET  /v1/metrics/names          families the metric history tracks
+//	GET  /v1/metrics/query          range-query the history (?name= &from= &to= &step= &agg= &q= &label=)
+//	GET  /v1/slo                    SLO rule status and counters
+//	GET  /dashboard                 self-contained live fleet dashboard (no external assets)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.route(mux, "GET /v1/experiments", s.handleExperiments)
@@ -939,6 +1020,10 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "GET /readyz", s.handleReady)
 	s.route(mux, "GET /metrics", s.handleMetrics)
 	s.route(mux, "GET /metrics.json", s.handleMetricsJSON)
+	s.route(mux, "GET /v1/metrics/names", s.handleMetricsNames)
+	s.route(mux, "GET /v1/metrics/query", s.handleMetricsQuery)
+	s.route(mux, "GET /v1/slo", s.handleSLO)
+	s.route(mux, "GET /dashboard", s.handleDashboard)
 	return mux
 }
 

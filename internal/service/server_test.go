@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"penelope/internal/experiments"
+	"penelope/internal/obs"
 )
 
 // fakeResult is a minimal experiments.Result for instrumented runners.
@@ -32,6 +33,11 @@ func (r fakeResult) Render(w io.Writer) { fmt.Fprintf(w, "%s %d\n", r.Name, r.N)
 // given runner (nil = real registry runner).
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.BuildInfo == nil {
+		// Pin the binary identity so golden payloads never depend on the
+		// toolchain that ran the tests.
+		cfg.BuildInfo = &obs.BuildInfo{Version: "(devel)", GoVersion: "gotest", Revision: "0000000"}
+	}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

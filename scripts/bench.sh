@@ -16,7 +16,9 @@
 # i.e. the worst-case drop-and-count path of the streaming tier) and the
 # observability layer (BenchmarkObsOverhead: ns per counter inc,
 # histogram observe, trace record and nil-instrument call — the budget
-# every instrumented hot path pays).
+# every instrumented hot path pays; BenchmarkTsdbSample: ns per full
+# registry sample into the metric-history store, asserted 0 allocs at
+# steady state so the sampler can never become a GC tax).
 #
 # Usage: scripts/bench.sh [extra go test args...]
 #   e.g. scripts/bench.sh -benchtime 2s -count 3
